@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Since we
+run on a simulator rather than the authors' production testbed, the harness
+validates *shape* (who wins, by what order of magnitude, where crossovers
+fall) and writes the reproduced rows to ``benchmarks/results/`` so they can
+be compared against the paper side by side (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+import pytest
+
+from repro.simulation import make_scenario
+from repro.workloads import LARGE_DCN, MEDIUM_DCN, generate_study
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Scales used by the simulation benchmarks.  Fanout is preserved by the
+#: profile builder, so decision behaviour matches full size while runs stay
+#: in CI-friendly time.
+MEDIUM_SCALE = 0.5
+LARGE_SCALE = 0.35
+SIM_DAYS = 60
+EVENTS_PER_10K = 15.0
+
+
+def write_report(name: str, lines: Iterable[str]) -> Path:
+    """Persist a reproduced table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = "\n".join(lines)
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n[{name}]")
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def study_dataset():
+    """The §2–3 study dataset at benchmark scale (15 DCNs, one week)."""
+    return generate_study(seed=42, num_dcns=15, days=7, scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def medium_scenario_75():
+    """§7.1 medium DCN, c=75%, 60-day trace."""
+    return make_scenario(
+        profile=MEDIUM_DCN,
+        scale=MEDIUM_SCALE,
+        duration_days=SIM_DAYS,
+        seed=100,
+        capacity=0.75,
+        events_per_10k_links_per_day=EVENTS_PER_10K,
+    )
+
+
+@pytest.fixture(scope="session")
+def large_scenario_75():
+    """§7.1 large DCN, c=75%, 60-day trace."""
+    return make_scenario(
+        profile=LARGE_DCN,
+        scale=LARGE_SCALE,
+        duration_days=SIM_DAYS,
+        seed=101,
+        capacity=0.75,
+        events_per_10k_links_per_day=EVENTS_PER_10K,
+    )

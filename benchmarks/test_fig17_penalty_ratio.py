@@ -1,0 +1,65 @@
+"""Figure 17: total penalty of CorrOpt divided by switch-local's, for
+different capacity constraints, medium and large DCNs.
+
+Paper shape: at a lax constraint (25%) the two methods coincide (ratio 1);
+at 50% CorrOpt eliminates nearly all corruption on the medium DCN (ratio
+-> 0); at 75% the ratio is 3-6 orders of magnitude below 1.
+"""
+
+import pytest
+
+from conftest import EVENTS_PER_10K, LARGE_SCALE, MEDIUM_SCALE, SIM_DAYS, write_report
+
+from repro.simulation import make_scenario, run_scenario
+from repro.workloads import LARGE_DCN, MEDIUM_DCN
+
+CONSTRAINTS = [0.25, 0.50, 0.75, 0.90]
+
+
+def penalty_ratio(profile, scale, capacity, seed):
+    scenario = make_scenario(
+        profile=profile,
+        scale=scale,
+        duration_days=SIM_DAYS,
+        seed=seed,
+        capacity=capacity,
+        events_per_10k_links_per_day=EVENTS_PER_10K,
+    )
+    corropt = run_scenario(scenario, "corropt", track_capacity=False)
+    local = run_scenario(scenario, "switch-local", track_capacity=False)
+    if local.penalty_integral <= 0:
+        return 1.0 if corropt.penalty_integral <= 0 else float("inf")
+    return corropt.penalty_integral / local.penalty_integral
+
+
+@pytest.mark.parametrize("which", ["medium", "large"])
+def test_figure17_penalty_ratio(benchmark, which):
+    profile = MEDIUM_DCN if which == "medium" else LARGE_DCN
+    scale = MEDIUM_SCALE if which == "medium" else LARGE_SCALE
+
+    def sweep():
+        return {
+            c: penalty_ratio(profile, scale, c, seed=300) for c in CONSTRAINTS
+        }
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"Figure 17 ({which} DCN) — CorrOpt penalty / switch-local penalty",
+        f"{'constraint':>11s} {'ratio':>12s}",
+    ]
+    for c in CONSTRAINTS:
+        lines.append(f"{c:11.2f} {ratios[c]:12.3e}")
+    lines.append(
+        "paper: ratio 1 at c=25%; ~0 at c=50% (medium); 1e-3..1e-6 at c=75%"
+    )
+    write_report(f"fig17_penalty_ratio_{which}", lines)
+
+    # Lax constraint: both disable everything, ratio ~1.
+    assert ratios[0.25] == pytest.approx(1.0, abs=0.05)
+    # Realistic regime: orders-of-magnitude advantage.
+    assert ratios[0.75] < 1e-2
+    # Monotone advantage: tighter constraints favour CorrOpt more... until
+    # both are fully squeezed; require 0.75 <= 0.5's ratio + tolerance.
+    assert ratios[0.75] <= ratios[0.25]
+    assert ratios[0.50] <= ratios[0.25] + 1e-9

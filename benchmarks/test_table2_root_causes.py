@@ -1,0 +1,84 @@
+"""Table 2: root causes, their optical symptoms, and Algorithm 1's
+per-cause diagnosis accuracy.
+
+The fault models emit the Table-2 symptom signatures; this bench verifies
+that (a) sampled cause frequencies land inside the paper's contribution
+ranges and (b) Algorithm 1 recovers the right repair from symptoms alone,
+at the per-cause accuracies that aggregate to ~80%.
+"""
+
+import random
+from collections import Counter, defaultdict
+
+from conftest import write_report
+
+from repro.core import full_engine
+from repro.faults import (
+    RootCause,
+    TABLE2_CONTRIBUTION_RANGE,
+    TABLE2_SYMPTOM,
+    observation_from_condition,
+    sample_root_cause,
+)
+from repro.ticketing.repair import _FAULT_CLASSES
+from repro.workloads import sample_corruption_rate
+
+N = 4000
+
+
+def run_table2_experiment(seed: int = 7):
+    rng = random.Random(seed)
+    engine = full_engine()
+    counts = Counter()
+    correct = defaultdict(int)
+    for _ in range(N):
+        cause = sample_root_cause(rng)
+        counts[cause] += 1
+        fault = _FAULT_CLASSES[cause].sample(sample_corruption_rate(rng), rng)
+        condition = fault.condition(rng)
+        observation = observation_from_condition(
+            ("a", "b"), condition, tech=fault.tech
+        )
+        if fault.fixed_by(engine.recommend(observation).action):
+            correct[cause] += 1
+    return counts, correct
+
+
+def test_table2_root_causes(benchmark):
+    counts, correct = benchmark.pedantic(
+        run_table2_experiment, rounds=1, iterations=1
+    )
+
+    lines = [
+        "Table 2 — root causes: symptom, share (paper range), Algorithm-1 "
+        "accuracy",
+        f"{'root cause':28s} {'symptom':28s} {'share':>7s} "
+        f"{'paper':>10s} {'acc':>6s}",
+    ]
+    overall_correct = sum(correct.values())
+    for cause in RootCause:
+        share = counts[cause] / N
+        low, high = TABLE2_CONTRIBUTION_RANGE[cause]
+        accuracy = correct[cause] / counts[cause] if counts[cause] else 0.0
+        lines.append(
+            f"{cause.value:28s} {TABLE2_SYMPTOM[cause]:28s} "
+            f"{share:7.3f} {f'{low:.0f}-{high:.0f}%':>10s} {accuracy:6.2f}"
+        )
+    lines.append(
+        f"aggregate first-recommendation accuracy: "
+        f"{overall_correct / N:.3f} (paper: 80% when followed)"
+    )
+    write_report("table2_root_causes", lines)
+
+    # Sampled shares fall inside the paper's (wide) contribution ranges.
+    for cause in RootCause:
+        low, high = TABLE2_CONTRIBUTION_RANGE[cause]
+        share = 100.0 * counts[cause] / N
+        assert low - 2.0 <= share <= high + 2.0, cause
+    # Aggregate accuracy near the paper's 80%.
+    assert abs(overall_correct / N - 0.80) < 0.06
+    # Per-cause structure: fiber/shared/decay diagnose well; the
+    # bad-or-loose class is ~50% first-shot (reseat fixes only loose).
+    assert correct[RootCause.DAMAGED_FIBER] / counts[RootCause.DAMAGED_FIBER] > 0.85
+    bad = RootCause.BAD_OR_LOOSE_TRANSCEIVER
+    assert 0.35 < correct[bad] / counts[bad] < 0.65

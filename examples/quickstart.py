@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: build a DCN, inject corruption, let CorrOpt mitigate it.
+
+Walks the Figure-13 workflow end to end on a small Clos network:
+
+1. build a 4-pod Clos topology;
+2. a link starts corrupting — the fast checker decides it can be disabled
+   and the recommendation engine proposes a repair;
+3. corruption keeps arriving until a ToR's capacity constraint binds and a
+   link must be kept active;
+4. a repair completes — the global optimizer re-evaluates and disables the
+   link it previously had to keep.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    CapacityConstraint,
+    CorrOptController,
+    LinkObservation,
+)
+from repro.optics import TECH_40G_LR4
+from repro.topology import build_clos
+
+
+def observation_provider(link_id) -> LinkObservation:
+    """Pretend the optical monitor reports a contaminated connector:
+    healthy TxPower both sides, low RxPower on the corrupting direction."""
+    tech = TECH_40G_LR4
+    return LinkObservation(
+        link_id=link_id,
+        corruption_rate=1e-3,
+        rx1_dbm=tech.thresholds.rx_min_dbm - 2.5,  # low: dirt attenuates
+        rx2_dbm=tech.healthy_rx_dbm(),
+        tx1_dbm=tech.nominal_tx_dbm,
+        tx2_dbm=tech.nominal_tx_dbm,
+        tech=tech,
+    )
+
+
+def main() -> None:
+    topo = build_clos(num_pods=4, tors_per_pod=4, aggs_per_pod=4, num_spines=16)
+    print(f"topology: {topo.num_switches} switches, {topo.num_links} links")
+
+    controller = CorrOptController(
+        topo,
+        CapacityConstraint(0.5),  # every ToR keeps >= 50% of spine paths
+        observation_provider=observation_provider,
+    )
+
+    # --- one corrupting link: disabled instantly, with a recommendation --
+    first = ("pod0/tor0", "pod0/agg0")
+    decision = controller.report_corruption(first, rate=1e-3)
+    print(f"\n{first} corrupting at 1e-3:")
+    print(f"  fast checker: {'DISABLE' if decision.disabled else 'KEEP'}")
+    print(f"  recommendation: {decision.recommendation.action.value}")
+    print(f"  reason: {decision.recommendation.reason}")
+    print(f"  worst ToR path fraction now: {controller.worst_tor_fraction():.2f}")
+
+    # --- keep corrupting the same ToR until capacity binds ---------------
+    print("\nmore corruption on pod0/tor0's uplinks:")
+    for i in (1, 2, 3):
+        link = ("pod0/tor0", f"pod0/agg{i}")
+        decision = controller.report_corruption(link, rate=10 ** (-3 - i))
+        verdict = "disabled" if decision.disabled else "KEPT (capacity bound)"
+        print(f"  {link}: {verdict}")
+    print(f"  active corruption penalty: {controller.current_penalty():.2e}/s")
+
+    # --- a repair lands: the optimizer re-balances -----------------------
+    print(f"\nrepair of {first} completes; optimizer re-evaluates:")
+    result = controller.activate_link(first, repaired=True)
+    for lid in sorted(result.to_disable):
+        print(f"  newly disabled: {lid}")
+    print(f"  residual penalty: {controller.current_penalty():.2e}/s")
+    print(f"  worst ToR path fraction: {controller.worst_tor_fraction():.2f}")
+
+
+if __name__ == "__main__":
+    main()

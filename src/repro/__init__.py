@@ -1,0 +1,56 @@
+"""Reproduction of *Understanding and Mitigating Packet Corruption in Data
+Center Networks* (Zhuo et al., SIGCOMM 2017).
+
+This package implements, from scratch:
+
+- the **CorrOpt** mitigation system (fast checker, global optimizer,
+  switch-local baseline, repair recommendation engine, controller);
+- every substrate the paper depends on: staged Clos/fat-tree topologies,
+  an SNMP-style telemetry simulator, an optical-layer fault model with the
+  paper's five root causes, corruption/congestion trace generators, a
+  maintenance-ticket/technician model, and an event-driven mitigation
+  simulator;
+- the measurement-study analyses of the paper's §2–4 (loss buckets,
+  stability, utilization correlation, locality, asymmetry, root causes);
+- the Appendix-A NP-completeness reduction from 3-SAT.
+
+Typical entry points:
+
+>>> from repro import topology, core, simulation
+>>> topo = topology.build_clos(num_pods=4, tors_per_pod=4,
+...                            aggs_per_pod=4, num_spines=8)
+>>> checker = core.FastChecker(topo, core.CapacityConstraint(0.75))
+"""
+
+from repro import (  # noqa: F401
+    analysis,
+    routing,
+    congestion,
+    core,
+    faults,
+    optics,
+    simulation,
+    telemetry,
+    theory,
+    ticketing,
+    topology,
+    workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "congestion",
+    "core",
+    "faults",
+    "optics",
+    "routing",
+    "simulation",
+    "telemetry",
+    "theory",
+    "ticketing",
+    "topology",
+    "workloads",
+    "__version__",
+]

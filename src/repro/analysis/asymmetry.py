@@ -1,0 +1,62 @@
+"""Directional asymmetry of losses (§3, Figure 5).
+
+Corruption is asymmetric: only ~8.2% of corrupting links corrupt in both
+directions (most root causes act on one unidirectional fiber/connector).
+Congestion is mostly bidirectional (~72.7%), which the paper attributes to
+failures that cut capacity for both upstream and downstream traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.workloads.rates import LOSSY_THRESHOLD
+from repro.workloads.study import StudyDataset
+
+
+def bidirectional_share(
+    dataset: StudyDataset, kind: str, threshold: float = LOSSY_THRESHOLD
+) -> float:
+    """Fraction of lossy links whose *both* directions are lossy."""
+    lossy = 0
+    bidirectional = 0
+    for record in dataset.all_records(kind):
+        if record.mean_loss() < threshold:
+            continue
+        lossy += 1
+        if record.is_bidirectional(threshold):
+            bidirectional += 1
+    if lossy == 0:
+        return 0.0
+    return bidirectional / lossy
+
+
+def bidirectional_pairs(
+    dataset: StudyDataset, kind: str, threshold: float = LOSSY_THRESHOLD
+) -> List[Tuple[float, float]]:
+    """(forward mean rate, reverse mean rate) for bidirectionally lossy
+    links — Figure 5's scatter points."""
+    pairs = []
+    for record in dataset.all_records(kind):
+        if record.rev_loss is None:
+            continue
+        fwd = record.mean_loss()
+        rev = float(np.mean(record.rev_loss))
+        if fwd >= threshold and rev >= threshold:
+            pairs.append((fwd, rev))
+    return pairs
+
+
+def direction_similarity(pairs: List[Tuple[float, float]]) -> float:
+    """Mean |log10(fwd/rev)| over bidirectional pairs.
+
+    Small values mean the two directions lose at similar rates — the
+    clustered-diagonal pattern Figure 5b shows for congestion; corruption's
+    sparse bidirectional pairs are more scattered.
+    """
+    if not pairs:
+        return 0.0
+    logs = [abs(np.log10(f) - np.log10(r)) for f, r in pairs if f > 0 and r > 0]
+    return float(np.mean(logs)) if logs else 0.0

@@ -1,0 +1,231 @@
+"""Command-line interface to the CorrOpt reproduction.
+
+Subcommands mirror the system's operational surfaces:
+
+- ``topology``  — build a Clos/fat-tree topology and save it as JSON;
+- ``study``     — run the §2–3 measurement study and print its statistics;
+- ``simulate``  — replay a corruption trace under a mitigation strategy;
+- ``recommend`` — run Algorithm 1 on one link's observed symptoms;
+- ``gadget``    — build the Appendix-A reduction for a random 3-SAT
+  instance and solve it with the optimizer.
+
+Run ``python -m repro <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.topology import build_clos, build_fattree, save_topology, validate
+
+    if args.kind == "fattree":
+        topo = build_fattree(args.k)
+    else:
+        topo = build_clos(
+            num_pods=args.pods,
+            tors_per_pod=args.tors,
+            aggs_per_pod=args.aggs,
+            num_spines=args.spines,
+        )
+    validate(topo)
+    print(
+        f"built {topo.name}: {topo.num_switches} switches, "
+        f"{topo.num_links} links, {topo.num_stages} stages"
+    )
+    if args.output:
+        save_topology(topo, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        bidirectional_share,
+        loss_bucket_table,
+        mean_pearson,
+        total_loss_ratio,
+    )
+    from repro.workloads import generate_study
+
+    dataset = generate_study(
+        seed=args.seed, num_dcns=args.dcns, days=args.days, scale=args.scale
+    )
+    table = loss_bucket_table(dataset)
+    print(f"study: {args.dcns} DCNs x {args.days} days (scale {args.scale})")
+    print(f"corruption buckets: {[round(x, 3) for x in table['corruption']]}")
+    print(f"congestion buckets: {[round(x, 3) for x in table['congestion']]}")
+    print(f"aggregate corruption/congestion losses: {total_loss_ratio(dataset):.2f}")
+    print(
+        "pearson(util, loss): corruption "
+        f"{mean_pearson(dataset, 'corruption'):+.2f}, congestion "
+        f"{mean_pearson(dataset, 'congestion'):+.2f}"
+    )
+    print(
+        "bidirectional: corruption "
+        f"{bidirectional_share(dataset, 'corruption'):.1%}, congestion "
+        f"{bidirectional_share(dataset, 'congestion'):.1%}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation import make_scenario, run_scenario
+    from repro.workloads import LARGE_DCN, MEDIUM_DCN
+
+    profile = MEDIUM_DCN if args.dcn == "medium" else LARGE_DCN
+    scenario = make_scenario(
+        profile=profile,
+        scale=args.scale,
+        duration_days=args.days,
+        seed=args.seed,
+        capacity=args.capacity,
+        events_per_10k_links_per_day=args.events,
+    )
+    result = run_scenario(
+        scenario, args.strategy, repair_accuracy=args.repair_accuracy
+    )
+    metrics = result.metrics
+    print(
+        f"{args.dcn} DCN (scale {args.scale}), c={args.capacity:.0%}, "
+        f"{len(scenario.trace)} events / {args.days} days"
+    )
+    print(f"strategy: {result.strategy_name}")
+    print(f"penalty integral: {result.penalty_integral:.3e}")
+    print(f"mean penalty/s:  {result.mean_penalty():.3e}")
+    print(
+        f"disabled: {metrics.disabled_on_onset} on onset, "
+        f"{metrics.disabled_on_activation} on activation; "
+        f"kept active: {metrics.kept_active_on_onset}"
+    )
+    print(f"worst ToR path fraction: {metrics.worst_tor_fraction.min_value():.3f}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.core import LinkObservation, deployed_engine, full_engine
+    from repro.optics import TECHNOLOGIES
+
+    tech = TECHNOLOGIES.get(args.tech) if args.tech else None
+    engine = deployed_engine() if args.deployed else full_engine()
+    observation = LinkObservation(
+        link_id=("side1", "side2"),
+        corruption_rate=args.rate,
+        rx1_dbm=args.rx1,
+        rx2_dbm=args.rx2,
+        tx1_dbm=args.tx1,
+        tx2_dbm=args.tx2,
+        neighbor_corrupting=args.neighbor_corrupting,
+        opposite_corrupting=args.opposite_corrupting,
+        recently_reseated=args.recently_reseated,
+        tech=tech,
+    )
+    recommendation = engine.recommend(observation)
+    print(f"recommended repair: {recommendation.action.value}")
+    print(f"reason: {recommendation.reason}")
+    return 0
+
+
+def _cmd_gadget(args: argparse.Namespace) -> int:
+    from repro.core import GlobalOptimizer, connectivity_constraint
+    from repro.theory import (
+        assignment_from_disable_set,
+        build_gadget,
+        is_satisfiable,
+        random_instance,
+    )
+
+    instance = random_instance(args.vars, args.clauses, seed=args.seed)
+    gadget = build_gadget(instance)
+    sat = is_satisfiable(instance)
+    optimizer = GlobalOptimizer(
+        gadget.topo, connectivity_constraint(), method="branch_and_bound"
+    )
+    result = optimizer.plan(sorted(gadget.corrupting_links))
+    print(f"3-SAT instance: {args.vars} vars, {gadget.k} clauses; SAT={sat}")
+    print(
+        f"optimizer disables {len(result.to_disable)} of "
+        f"{len(gadget.corrupting_links)} corrupting links (r={gadget.r})"
+    )
+    if len(result.to_disable) == gadget.r:
+        assignment = assignment_from_disable_set(gadget, result.to_disable)
+        print(f"recovered satisfying assignment: {assignment}")
+    agreement = sat == (len(result.to_disable) == gadget.r)
+    print(f"equivalence holds: {agreement}")
+    return 0 if agreement else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    topo = sub.add_parser("topology", help="build a topology")
+    topo.add_argument("--kind", choices=["clos", "fattree"], default="clos")
+    topo.add_argument("--pods", type=int, default=4)
+    topo.add_argument("--tors", type=int, default=8)
+    topo.add_argument("--aggs", type=int, default=4)
+    topo.add_argument("--spines", type=int, default=16)
+    topo.add_argument("--k", type=int, default=4, help="fat-tree arity")
+    topo.add_argument("--output", help="write JSON here")
+    topo.set_defaults(func=_cmd_topology)
+
+    study = sub.add_parser("study", help="run the §2-3 measurement study")
+    study.add_argument("--dcns", type=int, default=8)
+    study.add_argument("--days", type=int, default=7)
+    study.add_argument("--scale", type=float, default=0.3)
+    study.add_argument("--seed", type=int, default=0)
+    study.set_defaults(func=_cmd_study)
+
+    sim = sub.add_parser("simulate", help="replay a corruption trace")
+    sim.add_argument("--dcn", choices=["medium", "large"], default="medium")
+    sim.add_argument(
+        "--strategy",
+        choices=["corropt", "fast-checker-only", "switch-local", "none"],
+        default="corropt",
+    )
+    sim.add_argument("--capacity", type=float, default=0.75)
+    sim.add_argument("--days", type=int, default=30)
+    sim.add_argument("--scale", type=float, default=0.3)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--events", type=float, default=15.0)
+    sim.add_argument("--repair-accuracy", type=float, default=0.8)
+    sim.set_defaults(func=_cmd_simulate)
+
+    rec = sub.add_parser("recommend", help="Algorithm 1 on one link")
+    rec.add_argument("--rate", type=float, default=1e-3)
+    rec.add_argument("--rx1", type=float, required=True)
+    rec.add_argument("--rx2", type=float, required=True)
+    rec.add_argument("--tx1", type=float, required=True)
+    rec.add_argument("--tx2", type=float, required=True)
+    rec.add_argument("--tech", choices=["10G-SR", "40G-LR4", "100G-CWDM4"])
+    rec.add_argument("--neighbor-corrupting", action="store_true")
+    rec.add_argument("--opposite-corrupting", action="store_true")
+    rec.add_argument("--recently-reseated", action="store_true")
+    rec.add_argument("--deployed", action="store_true",
+                     help="use the simplified deployed engine (§7.2)")
+    rec.set_defaults(func=_cmd_recommend)
+
+    gadget = sub.add_parser("gadget", help="Appendix-A reduction")
+    gadget.add_argument("--vars", type=int, default=4)
+    gadget.add_argument("--clauses", type=int, default=6)
+    gadget.add_argument("--seed", type=int, default=0)
+    gadget.set_defaults(func=_cmd_gadget)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Congestion loss generation over a topology.
+
+Assigns traffic profiles to link directions with *strong spatial locality*:
+congestion clusters inside hotspot pods (rack-level incast keeps losses on
+the pod's ToR–aggregation links) plus a few hot aggregation switches.  §3 /
+Figure 4: congested links touch only ~20% of the switches a random spread
+would, while corruption touches ~80%.  Exposes the callables the
+:class:`~repro.telemetry.poller.SnmpPoller` needs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set
+
+from repro.congestion.queueing import congestion_loss_rate
+from repro.congestion.traffic import TrafficProfile, sample_profile
+from repro.topology.elements import Direction, DirectionId
+from repro.topology.graph import Topology
+
+
+class CongestionModel:
+    """Per-direction utilization and congestion loss over a topology.
+
+    Args:
+        topo: Topology to cover.
+        seed: RNG seed.
+        hotspot_pod_fraction: Fraction of pods designated hotspots; the
+            ToR–aggregation links inside a hot pod are congested.  This is
+            the dominant mechanism and the source of congestion's strong
+            locality.
+        hotspot_switch_fraction: Additionally, this fraction of non-ToR
+            switches become hot (their uplinks congest) — a secondary
+            mechanism that also covers topologies without pod labels.
+        bidirectional_hot_probability: Chance a hot link is hot in both
+            directions (§3, Figure 5b: 72.7% of congested links lose
+            packets in both directions).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        seed: int = 0,
+        hotspot_pod_fraction: float = 0.12,
+        hotspot_switch_fraction: float = 0.02,
+        bidirectional_hot_probability: float = 0.75,
+    ):
+        for name, value in (
+            ("hotspot_pod_fraction", hotspot_pod_fraction),
+            ("hotspot_switch_fraction", hotspot_switch_fraction),
+        ):
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} {value} outside [0, 1]")
+        self._topo = topo
+        self._rng = random.Random(seed)
+        self.bidirectional_hot_probability = bidirectional_hot_probability
+        self.hotspot_pods: Set[str] = set()
+        self.hotspot_switches: Set[str] = set()
+        self._profiles: Dict[DirectionId, TrafficProfile] = {}
+        self._hot_directions: Set[DirectionId] = set()
+        self._pick_hotspots(hotspot_pod_fraction, hotspot_switch_fraction)
+        self._assign_hot_directions()
+
+    def _pick_hotspots(
+        self, pod_fraction: float, switch_fraction: float
+    ) -> None:
+        pods = sorted(
+            {sw.pod for sw in self._topo.switches() if sw.pod is not None}
+        )
+        if pods and pod_fraction > 0:
+            count = max(1, round(len(pods) * pod_fraction))
+            self.hotspot_pods = set(self._rng.sample(pods, min(count, len(pods))))
+        non_tor = sorted(
+            sw.name
+            for sw in self._topo.switches()
+            if sw.stage > 0 and self._topo.uplinks(sw.name)
+        )
+        if non_tor and switch_fraction > 0:
+            count = max(1, round(len(non_tor) * switch_fraction))
+            self.hotspot_switches = set(
+                self._rng.sample(non_tor, min(count, len(non_tor)))
+            )
+
+    def _mark_hot(self, link) -> None:
+        up = link.direction_id(Direction.UP)
+        down = link.direction_id(Direction.DOWN)
+        primary = up if self._rng.random() < 0.5 else down
+        self._hot_directions.add(primary)
+        if self._rng.random() < self.bidirectional_hot_probability:
+            self._hot_directions.add(down if primary == up else up)
+
+    def _assign_hot_directions(self) -> None:
+        for link in self._topo.links():
+            lower = self._topo.switch(link.lower)
+            upper = self._topo.switch(link.upper)
+            in_hot_pod = (
+                lower.pod is not None
+                and lower.pod in self.hotspot_pods
+                and upper.pod == lower.pod
+            )
+            on_hot_switch = link.lower in self.hotspot_switches
+            if in_hot_pod or on_hot_switch:
+                self._mark_hot(link)
+
+    # ------------------------------------------------------------------ #
+
+    def is_hot(self, direction_id: DirectionId) -> bool:
+        """Whether this direction rides a hotspot."""
+        return direction_id in self._hot_directions
+
+    def hot_directions(self) -> List[DirectionId]:
+        return sorted(self._hot_directions)
+
+    def profile(self, direction_id: DirectionId) -> TrafficProfile:
+        """The (lazily created) traffic profile of a direction."""
+        if direction_id not in self._profiles:
+            self._profiles[direction_id] = sample_profile(
+                self._rng, hot=self.is_hot(direction_id)
+            )
+        return self._profiles[direction_id]
+
+    def utilization(self, direction_id: DirectionId, time_s: float) -> float:
+        """Utilization sample for a direction at ``time_s``."""
+        return self.profile(direction_id).utilization(time_s)
+
+    def loss_rate(self, direction_id: DirectionId, utilization: float) -> float:
+        """Congestion loss rate given a utilization sample.
+
+        Honors the deep-buffer flag of the *egress* switch (losses happen
+        at the sender's output queue).
+        """
+        src = direction_id[0]
+        deep = (
+            self._topo.has_switch(src) and self._topo.switch(src).deep_buffer
+        )
+        return congestion_loss_rate(utilization, deep_buffer=deep)
+
+    # Poller-facing adapters ------------------------------------------- #
+
+    def packets_fn(self, interval_s: float = 900.0, pkt_bytes: int = 1000):
+        """Return a ``(direction_id, time_s) -> packets`` callable."""
+
+        def packets(direction_id: DirectionId, time_s: float) -> int:
+            link = self._topo.find_link(*direction_id)
+            line_pkts = link.capacity_gbps * 1e9 / 8.0 / pkt_bytes * interval_s
+            return int(line_pkts * self.utilization(direction_id, time_s))
+
+        return packets
+
+    def congestion_fn(self):
+        """Return a ``(direction_id, time_s) -> loss rate`` callable.
+
+        Note: draws a fresh utilization sample; for counter-consistent
+        traffic + loss pairs drive the model through
+        :meth:`utilization`/:meth:`loss_rate` directly.
+        """
+
+        def congestion(direction_id: DirectionId, time_s: float) -> float:
+            return self.loss_rate(
+                direction_id, self.utilization(direction_id, time_s)
+            )
+
+        return congestion

@@ -1,0 +1,67 @@
+"""Queue-loss model: utilization → congestion loss rate.
+
+We use the M/M/1/K blocking probability as the stylized egress-queue model:
+
+    P_loss(ρ, K) = (1 - ρ) ρ^K / (1 - ρ^(K+1))      (ρ ≠ 1)
+    P_loss(1, K) = 1 / (K + 1)
+
+which yields the qualitative behaviour the paper reports: vanishing loss at
+low utilization, steep growth as ρ → 1, and orders-of-magnitude lower loss
+for deep-buffer switches (§3: stages with deep buffers see far fewer
+congestion losses).
+"""
+
+from __future__ import annotations
+
+SHALLOW_BUFFER_K = 120
+DEEP_BUFFER_K = 1200
+
+
+def mm1k_loss(rho: float, buffer_k: int) -> float:
+    """Blocking probability of an M/M/1/K queue at load ``rho``.
+
+    Args:
+        rho: Offered load (utilization), >= 0.  Loads above 1 are legal
+            (overload) and lose approximately ``1 - 1/rho``.
+        buffer_k: Queue capacity in packets.
+
+    Returns:
+        Loss probability in [0, 1].
+    """
+    if rho < 0:
+        raise ValueError(f"load must be non-negative, got {rho}")
+    if buffer_k < 1:
+        raise ValueError("buffer must hold at least one packet")
+    if rho == 0.0:
+        return 0.0
+    if abs(rho - 1.0) < 1e-12:
+        return 1.0 / (buffer_k + 1)
+    if rho > 1.0:
+        # Rearranged with rho^-(k+1) to avoid overflow for large K:
+        # loss = (rho - 1) / (rho * (1 - rho^-(k+1))).
+        inv = rho ** -(buffer_k + 1)
+        return min(1.0, (rho - 1.0) / (rho * (1.0 - inv)))
+    num = (1.0 - rho) * rho**buffer_k
+    den = 1.0 - rho ** (buffer_k + 1)
+    return min(1.0, max(0.0, num / den))
+
+
+def congestion_loss_rate(
+    utilization: float,
+    deep_buffer: bool = False,
+    headroom: float = 0.92,
+) -> float:
+    """Congestion loss rate for a measured average utilization.
+
+    Average utilization understates instantaneous load (traffic is bursty),
+    so the queue sees an effective load of ``utilization / headroom``.
+
+    Args:
+        utilization: Interval-average utilization in [0, 1].
+        deep_buffer: Use the deep-buffer queue depth.
+        headroom: Burstiness factor; lower = burstier.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError(f"utilization {utilization} outside [0, 1]")
+    buffer_k = DEEP_BUFFER_K if deep_buffer else SHALLOW_BUFFER_K
+    return mm1k_loss(utilization / headroom, buffer_k)

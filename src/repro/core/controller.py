@@ -1,0 +1,188 @@
+"""The CorrOpt controller (Figure 13 workflow).
+
+Wires the decision components together:
+
+- a switch reports packet corruption → the **fast checker** decides whether
+  the link can be safely disabled;
+- if disabled, the **recommendation engine** produces a repair ticket;
+- when a link is activated (repaired), the **optimizer** re-evaluates all
+  active corrupting links.
+
+The controller is deliberately free of wall-clock concerns: the simulation
+engine (or a real deployment harness) drives it with events and owns the
+ticket queue.  Hooks (``on_disable`` / ``on_keep_active``) let callers
+observe decisions without subclassing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.constraints import CapacityConstraint
+from repro.core.fast_checker import FastChecker, FastCheckResult
+from repro.core.optimizer import GlobalOptimizer, OptimizerResult
+from repro.core.path_counting import PathCounter
+from repro.core.penalty import PenaltyFn, linear_penalty, total_penalty
+from repro.core.recommendation import (
+    LinkObservation,
+    Recommendation,
+    RecommendationEngine,
+    full_engine,
+)
+from repro.topology.elements import Direction, LinkId
+from repro.topology.graph import Topology
+
+
+@dataclass
+class ControllerDecision:
+    """What the controller did with one corruption report."""
+
+    link_id: LinkId
+    disabled: bool
+    fast_check: FastCheckResult
+    recommendation: Optional[Recommendation] = None
+
+
+@dataclass
+class ControllerLog:
+    """Counters summarizing controller activity (exposed for dashboards)."""
+
+    reports: int = 0
+    disabled_by_fast_checker: int = 0
+    kept_by_capacity: int = 0
+    activations: int = 0
+    disabled_by_optimizer: int = 0
+    decisions: List[ControllerDecision] = field(default_factory=list)
+
+
+class CorrOptController:
+    """End-to-end CorrOpt decision engine over a live topology.
+
+    Args:
+        topo: The topology under management.
+        constraint: Per-ToR capacity constraints.
+        penalty_fn: Penalty function for the optimizer's objective.
+        recommender: Recommendation engine (defaults to full Algorithm 1).
+        observation_provider: Callable mapping a link id to a
+            :class:`LinkObservation`; wired to the telemetry system in
+            deployment, to the fault models in simulation.  Optional —
+            without it tickets carry no recommendation.
+        on_disable: Hook invoked with (link_id, recommendation) whenever any
+            component disables a link.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        constraint: CapacityConstraint,
+        penalty_fn: PenaltyFn = linear_penalty,
+        recommender: Optional[RecommendationEngine] = None,
+        observation_provider: Optional[
+            Callable[[LinkId], LinkObservation]
+        ] = None,
+        on_disable: Optional[
+            Callable[[LinkId, Optional[Recommendation]], None]
+        ] = None,
+    ):
+        self.topo = topo
+        self.constraint = constraint
+        self.counter = PathCounter(topo)
+        self.fast_checker = FastChecker(topo, constraint, counter=self.counter)
+        self.optimizer = GlobalOptimizer(
+            topo, constraint, penalty_fn=penalty_fn, counter=self.counter
+        )
+        self.recommender = recommender or full_engine()
+        self.observation_provider = observation_provider
+        self.on_disable = on_disable
+        self.log = ControllerLog()
+
+    # ------------------------------------------------------------------ #
+
+    def _recommend(self, link_id: LinkId) -> Optional[Recommendation]:
+        if self.observation_provider is None:
+            return None
+        return self.recommender.recommend(self.observation_provider(link_id))
+
+    def _announce_disable(self, link_id: LinkId) -> Optional[Recommendation]:
+        recommendation = self._recommend(link_id)
+        if self.on_disable is not None:
+            self.on_disable(link_id, recommendation)
+        return recommendation
+
+    def report_corruption(
+        self,
+        link_id: LinkId,
+        rate: float,
+        direction: Direction = Direction.UP,
+    ) -> ControllerDecision:
+        """Handle a new corruption report from a switch.
+
+        Records the rate on the topology, runs the fast checker, disables
+        when safe, and issues a recommendation for the ticket.
+        """
+        self.log.reports += 1
+        self.topo.set_corruption(link_id, rate, direction)
+        result = self.fast_checker.check_and_disable(link_id)
+        recommendation = None
+        if result.allowed:
+            self.log.disabled_by_fast_checker += 1
+            recommendation = self._announce_disable(link_id)
+        else:
+            self.log.kept_by_capacity += 1
+        decision = ControllerDecision(
+            link_id=link_id,
+            disabled=result.allowed,
+            fast_check=result,
+            recommendation=recommendation,
+        )
+        self.log.decisions.append(decision)
+        return decision
+
+    def activate_link(
+        self, link_id: LinkId, repaired: bool = True
+    ) -> OptimizerResult:
+        """Bring a link back into service and re-optimize.
+
+        Args:
+            link_id: The link coming back.
+            repaired: Whether the repair succeeded.  A failed repair leaves
+                the corruption rate in place (the link will typically be
+                re-disabled, Figure 12).
+
+        Returns:
+            The optimizer's result over the now-current corrupting set.
+        """
+        self.log.activations += 1
+        if repaired:
+            self.topo.clear_corruption(link_id)
+        self.topo.enable_link(link_id)
+        result = self.optimizer.optimize()
+        for lid in sorted(result.to_disable):
+            self.log.disabled_by_optimizer += 1
+            self._announce_disable(lid)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # State queries
+    # ------------------------------------------------------------------ #
+
+    def current_penalty(self) -> float:
+        """Total penalty per second of active corrupting links."""
+        return total_penalty(self.topo, self.optimizer.penalty_fn)
+
+    def tor_fractions(self) -> Dict[str, float]:
+        """Current available-path fraction of every ToR."""
+        return self.counter.tor_fractions()
+
+    def worst_tor_fraction(self) -> float:
+        """The minimum path fraction across ToRs (Figures 15–16 metric)."""
+        fractions = self.tor_fractions()
+        return min(fractions.values()) if fractions else 1.0
+
+    def average_tor_fraction(self) -> float:
+        """Mean path fraction across ToRs (§7.3 capacity-cost metric)."""
+        fractions = self.tor_fractions()
+        if not fractions:
+            return 1.0
+        return sum(fractions.values()) / len(fractions)

@@ -1,0 +1,354 @@
+"""CorrOpt's global optimizer (§5.1).
+
+When links are (re-)activated, CorrOpt solves the full problem: choose the
+subset of active corrupting links to disable that minimizes total penalty
+``sum_l (1 - d_l) * I(f_l)`` subject to every ToR keeping its required
+fraction of valley-free spine paths.  Theorem 5.1 shows the decision version
+is NP-complete, but two structural facts make production instances easy:
+
+1. **Pruning** (Figure 11): under realistic constraints ~99% of ToRs cannot
+   be violated even if *every* corrupting link is disabled.  Only links
+   upstream of potentially-violated ToRs are "contested"; all other
+   corrupting links are disabled outright.
+2. **Reject cache**: feasibility is monotone — any superset of an
+   infeasible disable-set is infeasible — so failed subsets prune the
+   enumeration.
+
+We implement the paper's exhaustive subset iteration with the reject cache,
+plus two extensions: branch-and-bound search (same exact answer, usually far
+fewer feasibility checks) and §8 topology segmentation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.constraints import CapacityConstraint
+from repro.core.path_counting import PathCounter
+from repro.core.penalty import PenaltyFn, linear_penalty
+from repro.core.segmentation import Segment, segment_links
+from repro.topology.elements import LinkId
+from repro.topology.graph import Topology
+
+
+@dataclass
+class OptimizerStats:
+    """Search-effort accounting for one optimizer run."""
+
+    num_candidates: int = 0
+    num_safe: int = 0
+    num_contested: int = 0
+    num_segments: int = 0
+    subsets_evaluated: int = 0
+    reject_cache_hits: int = 0
+    feasibility_checks: int = 0
+
+
+@dataclass
+class OptimizerResult:
+    """Outcome of a global optimization run.
+
+    Attributes:
+        to_disable: Links the optimizer chose to disable.
+        kept_active: Corrupting links that must stay up for capacity.
+        residual_penalty: Total penalty per second of ``kept_active``.
+        disabled_penalty: Penalty removed by disabling ``to_disable``.
+        stats: Search statistics.
+    """
+
+    to_disable: Set[LinkId] = field(default_factory=set)
+    kept_active: Set[LinkId] = field(default_factory=set)
+    residual_penalty: float = 0.0
+    disabled_penalty: float = 0.0
+    stats: OptimizerStats = field(default_factory=OptimizerStats)
+
+
+class GlobalOptimizer:
+    """Exact optimizer over the set of active corrupting links.
+
+    Args:
+        topo: Live topology (administrative state is read at call time).
+        constraint: Per-ToR capacity constraints.
+        penalty_fn: Penalty function ``I(f)``; the paper uses the identity.
+        counter: Optional shared :class:`PathCounter`.
+        use_pruning: Apply the Figure-11 pruning step.
+        use_reject_cache: Memoize infeasible subsets during search.
+        use_segmentation: Split contested links into independent segments
+            (§8 extension).
+        method: ``"exhaustive"`` (paper), ``"branch_and_bound"``, or
+            ``"auto"`` (exhaustive for small segments, B&B otherwise).
+        exhaustive_limit: Segment size above which ``"auto"`` switches to
+            branch-and-bound.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        constraint: CapacityConstraint,
+        penalty_fn: PenaltyFn = linear_penalty,
+        counter: Optional[PathCounter] = None,
+        use_pruning: bool = True,
+        use_reject_cache: bool = True,
+        use_segmentation: bool = True,
+        method: str = "auto",
+        exhaustive_limit: int = 16,
+    ):
+        if method not in ("auto", "exhaustive", "branch_and_bound"):
+            raise ValueError(f"unknown optimizer method {method!r}")
+        self._topo = topo
+        self.constraint = constraint
+        self.penalty_fn = penalty_fn
+        self.counter = counter or PathCounter(topo)
+        self.use_pruning = use_pruning
+        self.use_reject_cache = use_reject_cache
+        self.use_segmentation = use_segmentation
+        self.method = method
+        self.exhaustive_limit = exhaustive_limit
+
+    # ------------------------------------------------------------------ #
+
+    def _penalty(self, link_id: LinkId) -> float:
+        return self.penalty_fn(self._topo.link(link_id).max_corruption_rate())
+
+    def plan(
+        self, candidates: Optional[Sequence[LinkId]] = None
+    ) -> OptimizerResult:
+        """Compute the optimal disable-set without mutating the topology.
+
+        Args:
+            candidates: Links to consider; defaults to all enabled
+                corrupting links.
+
+        Returns:
+            The optimal plan.  Links already disabled are ignored.
+        """
+        topo = self._topo
+        if candidates is None:
+            candidates = topo.corrupting_links()
+        candidates = [lid for lid in candidates if topo.link(lid).enabled]
+        stats = OptimizerStats(num_candidates=len(candidates))
+        if not candidates:
+            return OptimizerResult(stats=stats)
+
+        all_candidates = frozenset(candidates)
+
+        # ---- Pruning step (Figure 11) --------------------------------- #
+        # Disable everything hypothetically; ToRs that survive can never be
+        # violated by any subset (path counts are monotone in the set of
+        # enabled links).
+        fractions_all_off = self.counter.tor_fractions(all_candidates)
+        violated = set(self.constraint.violations(fractions_all_off))
+
+        if not violated:
+            stats.num_safe = len(candidates)
+            disabled_penalty = sum(self._penalty(lid) for lid in candidates)
+            return OptimizerResult(
+                to_disable=set(candidates),
+                kept_active=set(),
+                residual_penalty=0.0,
+                disabled_penalty=disabled_penalty,
+                stats=stats,
+            )
+
+        if self.use_pruning:
+            upstream = topo.upstream_links(violated)
+            contested = sorted(all_candidates & upstream)
+            safe = set(all_candidates) - set(contested)
+        else:
+            contested = sorted(all_candidates)
+            safe = set()
+            # Without pruning, every ToR is treated as at risk.
+            violated = set(topo.tors())
+
+        stats.num_safe = len(safe)
+        stats.num_contested = len(contested)
+
+        # ---- Segment and search --------------------------------------- #
+        if self.use_segmentation:
+            segments = segment_links(topo, contested, violated)
+        else:
+            affected = violated & self._tors_below(contested)
+            segments = [Segment(frozenset(contested), frozenset(affected))]
+        stats.num_segments = len(segments)
+
+        chosen: Set[LinkId] = set(safe)
+        base_disabled = frozenset(safe)
+        for segment in segments:
+            best = self._search_segment(segment, base_disabled, stats)
+            chosen.update(best)
+
+        kept = set(all_candidates) - chosen
+        result = OptimizerResult(
+            to_disable=chosen,
+            kept_active=kept,
+            residual_penalty=sum(self._penalty(lid) for lid in kept),
+            disabled_penalty=sum(self._penalty(lid) for lid in chosen),
+            stats=stats,
+        )
+        return result
+
+    def optimize(
+        self, candidates: Optional[Sequence[LinkId]] = None
+    ) -> OptimizerResult:
+        """Run :meth:`plan` and apply it (disable the chosen links)."""
+        result = self.plan(candidates)
+        for lid in result.to_disable:
+            self._topo.disable_link(lid)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Subset search
+    # ------------------------------------------------------------------ #
+
+    def _tors_below(self, links: Sequence[LinkId]) -> Set[str]:
+        tors: Set[str] = set()
+        for lid in links:
+            lower = self._topo.link(lid).lower
+            if self._topo.switch(lower).stage == 0:
+                tors.add(lower)
+            else:
+                tors.update(self._topo.downstream_tors(lower))
+        return tors
+
+    def _search_segment(
+        self,
+        segment: Segment,
+        base_disabled: FrozenSet[LinkId],
+        stats: OptimizerStats,
+    ) -> Set[LinkId]:
+        """Find the optimal subset of one segment's links to disable."""
+        links = sorted(segment.links, key=self._penalty, reverse=True)
+        if not links:
+            return set()
+        tors = sorted(segment.tors)
+        if not tors:
+            # No at-risk ToR depends on these links: all can go.
+            return set(links)
+        closure = self.counter.upstream_closure(tors)
+
+        def feasible(subset: FrozenSet[LinkId]) -> bool:
+            stats.feasibility_checks += 1
+            fractions = self.counter.restricted_fractions(
+                tors, closure, extra_disabled=base_disabled | subset
+            )
+            return not self.constraint.violations(fractions)
+
+        n = len(links)
+        method = self.method
+        if method == "auto":
+            method = "exhaustive" if n <= self.exhaustive_limit else "branch_and_bound"
+        if method == "exhaustive":
+            return self._exhaustive(links, feasible, stats)
+        return self._branch_and_bound(links, feasible, stats)
+
+    def _exhaustive(
+        self,
+        links: List[LinkId],
+        feasible,
+        stats: OptimizerStats,
+    ) -> Set[LinkId]:
+        """The paper's search: iterate subsets, skip supersets of failures.
+
+        Subsets are visited largest-penalty-first by enumerating over sizes
+        descending within penalty-sorted prefixes; exactness comes from full
+        enumeration, the reject cache only skips provably infeasible sets.
+        """
+        n = len(links)
+        penalties = [self._penalty(lid) for lid in links]
+        rejected: List[int] = []
+        best_mask = 0
+        best_value = -1.0
+
+        for mask in range(1, 1 << n):
+            value = sum(penalties[i] for i in range(n) if mask >> i & 1)
+            if value <= best_value:
+                continue
+            if self.use_reject_cache and any(
+                mask & rej == rej for rej in rejected
+            ):
+                stats.reject_cache_hits += 1
+                continue
+            stats.subsets_evaluated += 1
+            subset = frozenset(links[i] for i in range(n) if mask >> i & 1)
+            if feasible(subset):
+                best_mask, best_value = mask, value
+            elif self.use_reject_cache:
+                rejected.append(mask)
+
+        return {links[i] for i in range(n) if best_mask >> i & 1}
+
+    def _branch_and_bound(
+        self,
+        links: List[LinkId],
+        feasible,
+        stats: OptimizerStats,
+    ) -> Set[LinkId]:
+        """Exact DFS: include/exclude each link, bounding by suffix sums.
+
+        Feasibility is monotone (supersets of infeasible sets are
+        infeasible), so a branch dies as soon as its current set fails.
+        """
+        n = len(links)
+        penalties = [self._penalty(lid) for lid in links]
+        suffix = [0.0] * (n + 1)
+        for i in range(n - 1, -1, -1):
+            suffix[i] = suffix[i + 1] + penalties[i]
+
+        best_set: Set[LinkId] = set()
+        best_value = 0.0
+
+        def dfs(index: int, current: FrozenSet[LinkId], value: float) -> None:
+            nonlocal best_set, best_value
+            if value > best_value:
+                best_value, best_set = value, set(current)
+            if index >= n or value + suffix[index] <= best_value:
+                return
+            # Include links[index] when feasible.
+            with_link = current | {links[index]}
+            stats.subsets_evaluated += 1
+            if feasible(with_link):
+                dfs(index + 1, with_link, value + penalties[index])
+            dfs(index + 1, current, value)
+
+        dfs(0, frozenset(), 0.0)
+        return best_set
+
+
+def brute_force_optimal(
+    topo: Topology,
+    constraint: CapacityConstraint,
+    candidates: Optional[Sequence[LinkId]] = None,
+    penalty_fn: PenaltyFn = linear_penalty,
+) -> Tuple[Set[LinkId], float]:
+    """Reference implementation: enumerate every subset, no pruning/caching.
+
+    Exponential; only for small test instances, used to validate
+    :class:`GlobalOptimizer` exactness.
+
+    Returns:
+        ``(best_disable_set, residual_penalty)``.
+    """
+    if candidates is None:
+        candidates = topo.corrupting_links()
+    candidates = [lid for lid in candidates if topo.link(lid).enabled]
+    counter = PathCounter(topo)
+    total = sum(
+        penalty_fn(topo.link(lid).max_corruption_rate()) for lid in candidates
+    )
+    best: Set[LinkId] = set()
+    best_value = -1.0
+    for size in range(len(candidates), -1, -1):
+        for combo in itertools.combinations(candidates, size):
+            fractions = counter.tor_fractions(frozenset(combo))
+            if constraint.violations(fractions):
+                continue
+            value = sum(
+                penalty_fn(topo.link(lid).max_corruption_rate())
+                for lid in combo
+            )
+            if value > best_value:
+                best_value = value
+                best = set(combo)
+    return best, total - max(best_value, 0.0)

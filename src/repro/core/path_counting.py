@@ -1,0 +1,177 @@
+"""Valley-free ToR-to-spine path counting.
+
+This implements the O(|E|) dynamic program at the heart of CorrOpt's fast
+checker (§5.1): "for each switch v2 in the second-highest stage, we count
+the active (one-hop) paths p1(v2) to the spine ... this process is iterated
+until the ToR-stage is reached."  Conceptually O(1) work per link.
+
+The *capacity fraction* of a ToR is its current path count divided by its
+design path count (all links enabled) — the metric of §5.1, illustrated by
+Figure 10 where ToR ``T`` retains "9 out of 25 paths".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.topology.elements import LinkId
+from repro.topology.graph import Topology
+
+_EMPTY: FrozenSet[LinkId] = frozenset()
+
+
+class PathCounter:
+    """Counts valley-free up-paths from every switch to the spine.
+
+    The counter is bound to a topology and reads its administrative state at
+    call time; hypothetical disables are passed as ``extra_disabled`` sets so
+    the optimizer can evaluate candidate subsets without mutating the
+    topology.
+
+    Example:
+        >>> from repro.topology import build_clos
+        >>> topo = build_clos(2, 2, 2, 4)
+        >>> counter = PathCounter(topo)
+        >>> counter.baseline()["pod0/tor0"]
+        4
+    """
+
+    def __init__(self, topo: Topology):
+        self._topo = topo
+        # Switches in stage-descending order (spine first) so a single pass
+        # computes the DP.
+        self._descending: List[str] = []
+        for stage in range(topo.num_stages - 1, -1, -1):
+            self._descending.extend(topo.stage(stage))
+        self._baseline = self._count(ignore_admin_state=True)
+
+    # ------------------------------------------------------------------ #
+
+    def _count(
+        self,
+        extra_disabled: FrozenSet[LinkId] = _EMPTY,
+        ignore_admin_state: bool = False,
+        restrict: Optional[Set[str]] = None,
+    ) -> Dict[str, int]:
+        """Run the DP; returns path counts for every (restricted) switch.
+
+        Args:
+            extra_disabled: Links treated as disabled on top of the
+                topology's administrative state.
+            ignore_admin_state: Count over the pristine design topology
+                (used for the baseline denominator).
+            restrict: If given, an *upstream-closed* set of switch names;
+                the DP only visits these.  Used by the optimizer to evaluate
+                candidate subsets on a pruned region quickly.
+        """
+        topo = self._topo
+        top = topo.num_stages - 1
+        counts: Dict[str, int] = {}
+        for name in self._descending:
+            if restrict is not None and name not in restrict:
+                continue
+            if topo.switch(name).stage == top:
+                counts[name] = 1
+                continue
+            total = 0
+            for lid in topo.uplinks(name):
+                if lid in extra_disabled:
+                    continue
+                if not ignore_admin_state and not topo.link(lid).enabled:
+                    continue
+                upper = topo.link(lid).upper
+                # With a correct upstream-closed restriction the upper
+                # endpoint is always present.
+                total += counts[upper]
+            counts[name] = total
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def baseline(self) -> Dict[str, int]:
+        """Design path counts (all links enabled) for every switch."""
+        return dict(self._baseline)
+
+    def baseline_for(self, switch: str) -> int:
+        return self._baseline[switch]
+
+    def counts(
+        self, extra_disabled: Optional[Iterable[LinkId]] = None
+    ) -> Dict[str, int]:
+        """Current path counts, optionally with extra hypothetical disables."""
+        extra = frozenset(extra_disabled) if extra_disabled else _EMPTY
+        return self._count(extra)
+
+    def tor_fractions(
+        self,
+        extra_disabled: Optional[Iterable[LinkId]] = None,
+        tors: Optional[Iterable[str]] = None,
+    ) -> Dict[str, float]:
+        """Available path fraction for ToRs (current / design).
+
+        Args:
+            extra_disabled: Hypothetical additional disables.
+            tors: Restrict to these ToRs (default: all).  When restricted,
+                the DP still visits the full topology; use
+                :meth:`restricted_fractions` for pruned evaluation.
+        """
+        counts = self.counts(extra_disabled)
+        targets = list(tors) if tors is not None else self._topo.tors()
+        return {
+            tor: counts[tor] / self._baseline[tor]
+            if self._baseline[tor]
+            else 0.0
+            for tor in targets
+        }
+
+    def upstream_closure(self, tors: Iterable[str]) -> Set[str]:
+        """All switches on any up-path from the given ToRs (inclusive).
+
+        The returned set is upstream-closed and therefore a valid
+        ``restrict`` argument for :meth:`restricted_fractions`.
+        """
+        topo = self._topo
+        seen: Set[str] = set()
+        frontier = [t for t in tors]
+        seen.update(frontier)
+        while frontier:
+            current = frontier.pop()
+            for lid in topo.uplinks(current):
+                upper = topo.link(lid).upper
+                if upper not in seen:
+                    seen.add(upper)
+                    frontier.append(upper)
+        return seen
+
+    def restricted_fractions(
+        self,
+        tors: List[str],
+        closure: Set[str],
+        extra_disabled: FrozenSet[LinkId] = _EMPTY,
+    ) -> Dict[str, float]:
+        """Path fractions for ``tors`` computed only over ``closure``.
+
+        ``closure`` must be (a superset of) ``upstream_closure(tors)``.
+        This is the optimizer's fast feasibility primitive: on a pruned
+        region it is orders of magnitude smaller than a full-topology DP.
+        """
+        counts = self._count(extra_disabled, restrict=closure)
+        return {
+            tor: counts[tor] / self._baseline[tor]
+            if self._baseline[tor]
+            else 0.0
+            for tor in tors
+        }
+
+    def affected_tors(self, link_id: LinkId) -> Set[str]:
+        """ToRs whose path count could change if ``link_id`` were disabled.
+
+        These are exactly the ToRs downstream of the link's lower endpoint
+        over currently enabled links (§5.1: "check the downstream of l").
+        """
+        lower = self._topo.link(link_id).lower
+        if self._topo.switch(lower).stage == 0:
+            return {lower}
+        return self._topo.downstream_tors(lower)

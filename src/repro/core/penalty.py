@@ -1,0 +1,79 @@
+"""Penalty functions ``I(f)`` for corruption loss rates.
+
+§5.1: each enabled link ``l`` with corruption rate ``f_l`` incurs a penalty
+``I(f_l)`` per second, where ``I`` is a monotonically increasing function
+reflecting how loss rate degrades application performance.  The paper's
+evaluation uses the identity ``I(f) = f`` ("results in this paper use
+I(f_l) = f_l"), making total penalty proportional to corruption losses under
+equal utilization.
+
+We also provide two alternatives called out by the paper's citations:
+
+- a TCP-throughput penalty derived from the Padhye et al. model
+  (throughput ∝ 1/sqrt(p), so the *damage* grows like sqrt(p));
+- a step penalty capturing SLO-style thresholds (e.g. RDMA loses 25%
+  throughput above 0.1% loss; §1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable
+
+from repro.topology.graph import Topology
+
+#: A penalty function maps a corruption loss rate in [0, 1] to a
+#: non-negative penalty per second.
+PenaltyFn = Callable[[float], float]
+
+
+def linear_penalty(rate: float) -> float:
+    """The paper's evaluation penalty: ``I(f) = f``."""
+    return rate
+
+
+def tcp_throughput_penalty(rate: float, rtt_s: float = 0.001) -> float:
+    """Penalty as fractional TCP throughput loss (Padhye et al. model).
+
+    The steady-state TCP throughput is approximately
+    ``MSS / (RTT * sqrt(2p/3))``; we normalize against a reference loss rate
+    of 1e-8 (the IEEE 802.3 floor) and return ``1 - T(p)/T(p0)``, clamped to
+    [0, 1].  The ``rtt_s`` parameter cancels in the ratio but is kept for
+    interface parity with extended variants.
+    """
+    del rtt_s
+    floor = 1e-8
+    if rate <= floor:
+        return 0.0
+    return min(1.0, 1.0 - math.sqrt(floor / rate))
+
+def step_penalty(rate: float, threshold: float = 1e-3, weight: float = 1.0) -> float:
+    """SLO-style step penalty: ``weight`` once loss exceeds ``threshold``."""
+    return weight if rate >= threshold else 0.0
+
+
+def total_penalty(
+    topo: Topology,
+    penalty_fn: PenaltyFn = linear_penalty,
+    threshold: float = 1e-8,
+) -> float:
+    """Total penalty per second over *enabled* corrupting links.
+
+    §5.1: ``sum_l (1 - d_l) * I(f_l)`` where ``d_l = 1`` for disabled links.
+    """
+    return sum(
+        penalty_fn(link.max_corruption_rate())
+        for link in topo.links()
+        if link.enabled and link.is_corrupting(threshold)
+    )
+
+
+def penalty_of_links(
+    topo: Topology,
+    link_ids: Iterable,
+    penalty_fn: PenaltyFn = linear_penalty,
+) -> float:
+    """Sum of penalties of the given links (regardless of state)."""
+    return sum(
+        penalty_fn(topo.link(lid).max_corruption_rate()) for lid in link_ids
+    )

@@ -1,0 +1,186 @@
+"""CorrOpt's repair recommendation engine (§5.2, Algorithm 1).
+
+Given a corrupting link's optical power levels, its neighborhood, and its
+repair history, recommend the action most likely to eliminate the root
+cause:
+
+1. neighbors on the same switch also corrupting → replace shared component;
+2. the opposite direction also corrupting → replace cable/fiber;
+3. far-side TxPower low → replace the far-side (decaying) transceiver;
+4. RxPower low on both sides → replace cable/fiber (bent/damaged);
+5. RxPower low on the corrupting direction only → clean fiber
+   (connector contamination);
+6. otherwise (power levels all high): reseat the near transceiver, or
+   replace it if it was recently reseated.
+
+Two engine variants are provided: the full Algorithm 1 and the *deployed*
+simplification of §7.2 ("a single RxPower threshold rather than customizing
+it to the links' optical technology, and it does not consider historical
+repairs or space locality"), whose lower fidelity the paper notes
+underestimates the approach.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.optics.power import (
+    DEPLOYED_SINGLE_RX_THRESHOLD_DBM,
+    DEPLOYED_SINGLE_TX_THRESHOLD_DBM,
+    PowerThresholds,
+    TransceiverTech,
+)
+from repro.topology.elements import LinkId
+
+
+class RepairAction(enum.Enum):
+    """Concrete repair actions a technician can take (§5.2)."""
+
+    REPLACE_SHARED_COMPONENT = "replace shared component"
+    REPLACE_CABLE = "replace cable/fiber"
+    REPLACE_TRANSCEIVER_REMOTE = "replace transceiver on the opposite side"
+    CLEAN_FIBER = "clean fiber"
+    RESEAT_TRANSCEIVER = "reseat transceiver"
+    REPLACE_TRANSCEIVER = "replace transceiver"
+
+
+@dataclass
+class LinkObservation:
+    """Everything Algorithm 1 needs to know about one corrupting link.
+
+    Orientation: "side 1" is the *receiving* end of the corrupting
+    direction; "side 2" is the opposite (transmitting) end.
+
+    Attributes:
+        link_id: The corrupting link.
+        corruption_rate: Loss rate of the corrupting direction.
+        rx1_dbm: RxPower at side 1 (receiver of the corruption).
+        rx2_dbm: RxPower at side 2 (receiver of the reverse direction).
+        tx1_dbm: TxPower of side 1's laser.
+        tx2_dbm: TxPower of side 2's laser (feeds the corrupting direction).
+        neighbor_corrupting: Another link on the same switch (or breakout
+            cable) is corrupting with a similar rate.
+        opposite_corrupting: The reverse direction also corrupts.
+        recently_reseated: The near transceiver was reseated in a recent
+            repair attempt.
+        tech: Optical technology, for per-technology thresholds.
+    """
+
+    link_id: LinkId
+    corruption_rate: float
+    rx1_dbm: float
+    rx2_dbm: float
+    tx1_dbm: float
+    tx2_dbm: float
+    neighbor_corrupting: bool = False
+    opposite_corrupting: bool = False
+    recently_reseated: bool = False
+    tech: Optional[TransceiverTech] = None
+
+
+@dataclass
+class Recommendation:
+    """A repair recommendation plus the rule that fired (for ticket text)."""
+
+    action: RepairAction
+    reason: str
+
+
+class RecommendationEngine:
+    """Algorithm 1, faithfully.
+
+    Args:
+        default_thresholds: Power thresholds used when an observation does
+            not carry per-technology thresholds.
+        consider_neighbors: Apply the shared-component rule (line 2–4).
+        consider_history: Apply the reseat-history rule (line 17–20); when
+            off, the engine always recommends reseating first.
+    """
+
+    def __init__(
+        self,
+        default_thresholds: Optional[PowerThresholds] = None,
+        consider_neighbors: bool = True,
+        consider_history: bool = True,
+    ):
+        self.default_thresholds = default_thresholds or PowerThresholds(
+            rx_min_dbm=DEPLOYED_SINGLE_RX_THRESHOLD_DBM,
+            tx_min_dbm=DEPLOYED_SINGLE_TX_THRESHOLD_DBM,
+        )
+        self.consider_neighbors = consider_neighbors
+        self.consider_history = consider_history
+
+    def _thresholds(self, obs: LinkObservation) -> PowerThresholds:
+        if obs.tech is not None:
+            return obs.tech.thresholds
+        return self.default_thresholds
+
+    def recommend(self, obs: LinkObservation) -> Recommendation:
+        """Apply Algorithm 1 to one observation."""
+        thresholds = self._thresholds(obs)
+
+        if self.consider_neighbors and obs.neighbor_corrupting:
+            return Recommendation(
+                RepairAction.REPLACE_SHARED_COMPONENT,
+                "co-located links corrupt together despite good optics "
+                "(§4 root cause 5)",
+            )
+        if obs.opposite_corrupting:
+            return Recommendation(
+                RepairAction.REPLACE_CABLE,
+                "bidirectional corruption indicates damaged fiber "
+                "(§4 root cause 2)",
+            )
+        if obs.tx2_dbm <= thresholds.tx_min_dbm:
+            return Recommendation(
+                RepairAction.REPLACE_TRANSCEIVER_REMOTE,
+                "far-side TxPower low: decaying transmitter "
+                "(§4 root cause 3)",
+            )
+        rx1_low = thresholds.rx_is_low(obs.rx1_dbm)
+        rx2_low = thresholds.rx_is_low(obs.rx2_dbm)
+        if rx1_low and rx2_low:
+            return Recommendation(
+                RepairAction.REPLACE_CABLE,
+                "RxPower low on both sides: bent or damaged fiber "
+                "(§4 root cause 2)",
+            )
+        if rx1_low:
+            return Recommendation(
+                RepairAction.CLEAN_FIBER,
+                "RxPower low on the corrupting direction only: connector "
+                "contamination (§4 root cause 1)",
+            )
+        if not self.consider_history or not obs.recently_reseated:
+            return Recommendation(
+                RepairAction.RESEAT_TRANSCEIVER,
+                "power levels healthy: likely loose transceiver "
+                "(§4 root cause 4)",
+            )
+        return Recommendation(
+            RepairAction.REPLACE_TRANSCEIVER,
+            "reseating did not help: bad transceiver (§4 root cause 4)",
+        )
+
+
+def full_engine() -> RecommendationEngine:
+    """The complete Algorithm 1 (per-technology thresholds + history +
+    locality)."""
+    return RecommendationEngine(
+        consider_neighbors=True, consider_history=True
+    )
+
+
+def deployed_engine() -> RecommendationEngine:
+    """The production deployment of §7.2: single RxPower threshold, no
+    repair history, no spatial locality."""
+    return RecommendationEngine(
+        default_thresholds=PowerThresholds(
+            rx_min_dbm=DEPLOYED_SINGLE_RX_THRESHOLD_DBM,
+            tx_min_dbm=DEPLOYED_SINGLE_TX_THRESHOLD_DBM,
+        ),
+        consider_neighbors=False,
+        consider_history=False,
+    )

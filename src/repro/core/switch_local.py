@@ -1,0 +1,145 @@
+"""The state-of-the-art baseline: switch-local checking (§5.1).
+
+Production practice before CorrOpt [Maltz 2016]: when a link starts
+corrupting, a controller disables it only if the switch it is attached to
+retains a threshold fraction ``sc`` of active uplinks.  For the decision to
+*guarantee* a ToR-to-spine path fraction of ``c`` in a network with ``r``
+link tiers above the ToRs, the local threshold must be ``sc = c ** (1/r)``
+(Figure 10b: ``sqrt(0.6) ≈ 0.77`` for three-stage networks) — which makes
+the check very conservative and leaves many corrupting links active.
+
+With heterogeneous per-ToR constraints the local threshold must satisfy the
+most demanding downstream ToR, making the baseline even more conservative
+(§5.1: "a switch-local checker may not be able to disable a single link in
+extreme cases").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.constraints import CapacityConstraint
+from repro.topology.elements import LinkId
+from repro.topology.graph import Topology
+
+
+@dataclass
+class SwitchLocalResult:
+    """Outcome of a switch-local check for one link."""
+
+    link_id: LinkId
+    allowed: bool
+    switch: str
+    active_uplinks: int
+    required_active: int
+
+
+class SwitchLocalChecker:
+    """Greedy, local admission check used by today's operators.
+
+    A link at stage ``s -> s+1`` counts as an uplink of its lower switch;
+    disabling is allowed when the lower switch would still keep at least
+    ``ceil(m * sc)`` enabled uplinks out of its ``m`` total uplinks — i.e.
+    at most ``floor(m * (1 - sc))`` uplinks may be disabled (§5.1).
+
+    Args:
+        topo: Live topology.
+        constraint: The per-ToR capacity constraint to guarantee; the local
+            threshold is derived as ``max_c ** (1/r)`` where ``max_c`` is
+            the strictest ToR requirement.
+        sc: Explicit local threshold overriding the derivation (used to
+            reproduce the naive ``sc = c`` mapping of Figure 10a).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        constraint: CapacityConstraint,
+        sc: Optional[float] = None,
+    ):
+        self._topo = topo
+        self.constraint = constraint
+        if sc is None:
+            strictest = constraint.default
+            if constraint.per_tor:
+                strictest = max(strictest, max(constraint.per_tor.values()))
+            r = topo.tiers_above_tor()
+            sc = strictest ** (1.0 / r)
+        if not 0.0 <= sc <= 1.0:
+            raise ValueError(f"sc={sc} outside [0, 1]")
+        self.sc = sc
+
+    def max_disabled(self, switch: str) -> int:
+        """How many of ``switch``'s uplinks may be disabled in total."""
+        m = len(self._topo.uplinks(switch))
+        return int(m * (1.0 - self.sc))
+
+    def check(self, link_id: LinkId) -> SwitchLocalResult:
+        """Decide whether the lower switch can afford to lose this uplink."""
+        link = self._topo.link(link_id)
+        switch = link.lower
+        uplinks = self._topo.uplinks(switch)
+        m = len(uplinks)
+        active = sum(1 for lid in uplinks if self._topo.link(lid).enabled)
+        disabled = m - active
+        allowed = link.enabled and disabled + 1 <= self.max_disabled(switch)
+        required_active = m - self.max_disabled(switch)
+        return SwitchLocalResult(
+            link_id=link_id,
+            allowed=allowed,
+            switch=switch,
+            active_uplinks=active,
+            required_active=required_active,
+        )
+
+    def check_and_disable(self, link_id: LinkId) -> SwitchLocalResult:
+        """Run :meth:`check` and disable the link when allowed."""
+        result = self.check(link_id)
+        if result.allowed:
+            self._topo.disable_link(link_id)
+        return result
+
+    def reevaluate(self, candidates: Optional[List[LinkId]] = None) -> List[LinkId]:
+        """Re-run the check over active corrupting links (on link enable).
+
+        §5.1: "When a link is enabled ... the same check is run for all
+        active corrupting links to see if additional links, which could not
+        be disabled before, can be disabled now."  Links are visited in
+        descending corruption order (worst first), matching the greedy
+        production behaviour.
+
+        Returns:
+            The links that were newly disabled.
+        """
+        if candidates is None:
+            candidates = self._topo.corrupting_links()
+        ordered = sorted(
+            (lid for lid in candidates if self._topo.link(lid).enabled),
+            key=lambda lid: self._topo.link(lid).max_corruption_rate(),
+            reverse=True,
+        )
+        newly_disabled = []
+        for lid in ordered:
+            if self.check_and_disable(lid).allowed:
+                newly_disabled.append(lid)
+        return newly_disabled
+
+
+def uplink_budget_report(
+    checker: SwitchLocalChecker,
+) -> Dict[str, Dict[str, int]]:
+    """Per-switch uplink budget (total / active / max disable) for debugging."""
+    topo = checker._topo
+    report: Dict[str, Dict[str, int]] = {}
+    for switch in topo.switches():
+        uplinks = topo.uplinks(switch.name)
+        if not uplinks:
+            continue
+        active = sum(1 for lid in uplinks if topo.link(lid).enabled)
+        report[switch.name] = {
+            "total": len(uplinks),
+            "active": active,
+            "max_disabled": checker.max_disabled(switch.name),
+        }
+    return report

@@ -1,0 +1,81 @@
+"""Root cause 1: connector contamination (§4, Figures 6–7).
+
+Dirt on a fiber connector attenuates the signal in *one* direction (fibers
+and connectors are unidirectional), so the typical signature is healthy
+TxPower on both sides with low RxPower only at the receiving end of the
+corruption (Table 2: ``H->H / L<-H``).
+
+Some contamination instead causes back-reflections: RxPower stays high but
+the reflections interfere with decoding.  "Transceivers do not report on
+reflections, and thus we are not able to correctly identify this root cause
+all the time" — the reason Algorithm 1 is not 100% accurate on this class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.recommendation import RepairAction
+from repro.faults.condition import LinkCondition
+from repro.faults.root_causes import RootCause, repairs_that_fix
+from repro.optics.power import TECH_40G_LR4, TransceiverTech
+from repro.optics.transceiver import required_margin_for_rate
+
+#: Fraction of contamination faults that are reflective (no RxPower drop).
+REFLECTIVE_PROBABILITY = 0.2
+
+
+@dataclass
+class ContaminationFault:
+    """A contaminated connector on one direction of a link.
+
+    Attributes:
+        target_rate: Corruption loss rate the contamination induces.
+        reflective: Back-reflection variant — power levels stay high.
+        tech: Optical technology of the link.
+    """
+
+    target_rate: float
+    reflective: bool = False
+    tech: TransceiverTech = TECH_40G_LR4
+
+    cause = RootCause.CONNECTOR_CONTAMINATION
+
+    @classmethod
+    def sample(
+        cls,
+        target_rate: float,
+        rng: random.Random,
+        tech: TransceiverTech = TECH_40G_LR4,
+    ) -> "ContaminationFault":
+        """Draw a contamination fault with the paper's reflective share."""
+        return cls(
+            target_rate=target_rate,
+            reflective=rng.random() < REFLECTIVE_PROBABILITY,
+            tech=tech,
+        )
+
+    def condition(self, rng: random.Random) -> LinkCondition:
+        """Emit the observable link condition."""
+        tech = self.tech
+        healthy_rx = tech.healthy_rx_dbm()
+        tx = tech.nominal_tx_dbm
+        if self.reflective:
+            rx1 = healthy_rx + rng.uniform(-0.5, 0.5)
+        else:
+            rx1 = tech.thresholds.rx_min_dbm + required_margin_for_rate(
+                self.target_rate
+            )
+        return LinkCondition(
+            tx1_dbm=tx,
+            rx1_dbm=rx1,
+            tx2_dbm=tx,
+            rx2_dbm=healthy_rx + rng.uniform(-0.5, 0.5),
+            fwd_rate=self.target_rate,
+            rev_rate=0.0,
+        )
+
+    def fixed_by(self, action: RepairAction) -> bool:
+        """Whether ``action`` eliminates this fault."""
+        return action in repairs_that_fix(self.cause)

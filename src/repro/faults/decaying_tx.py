@@ -1,0 +1,63 @@
+"""Root cause 3: decaying transmitter (§4).
+
+Semiconductor lasers age; a dying laser launches less power, producing low
+TxPower on the send side *and* correspondingly low RxPower on the receive
+side (Table 2: ``*->* / L<-L``), often gradually.  The fix is replacing the
+transceiver on the *opposite* (sending) side of the corrupting direction —
+the one subtlety Algorithm 1 encodes at line 10–11.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.recommendation import RepairAction
+from repro.faults.condition import LinkCondition
+from repro.faults.root_causes import RootCause, repairs_that_fix
+from repro.optics.power import TECH_40G_LR4, TransceiverTech
+from repro.optics.transceiver import required_margin_for_rate
+
+
+@dataclass
+class DecayingTransmitterFault:
+    """An aging laser on the sending side of the corrupting direction.
+
+    The emitted condition is self-consistent: ``rx1 = tx2 - fiber_loss``,
+    with ``tx2`` depressed exactly enough for the decoder curve to produce
+    ``target_rate``.
+    """
+
+    target_rate: float
+    tech: TransceiverTech = TECH_40G_LR4
+
+    cause = RootCause.DECAYING_TRANSMITTER
+
+    @classmethod
+    def sample(
+        cls,
+        target_rate: float,
+        rng: random.Random,
+        tech: TransceiverTech = TECH_40G_LR4,
+    ) -> "DecayingTransmitterFault":
+        del rng  # no symptom variants for this cause
+        return cls(target_rate=target_rate, tech=tech)
+
+    def condition(self, rng: random.Random) -> LinkCondition:
+        """Emit the observable link condition (low Tx2, low Rx1)."""
+        tech = self.tech
+        rx1 = tech.thresholds.rx_min_dbm + required_margin_for_rate(
+            self.target_rate
+        )
+        tx2 = rx1 + tech.fiber_loss_db
+        return LinkCondition(
+            tx1_dbm=tech.nominal_tx_dbm,
+            rx1_dbm=rx1,
+            tx2_dbm=tx2,
+            rx2_dbm=tech.healthy_rx_dbm() + rng.uniform(-0.5, 0.5),
+            fwd_rate=self.target_rate,
+            rev_rate=0.0,
+        )
+
+    def fixed_by(self, action: RepairAction) -> bool:
+        return action in repairs_that_fix(self.cause)

@@ -1,0 +1,84 @@
+"""Root cause 2: bent or damaged fiber (§4, Figures 8–9).
+
+A bend past the fiber's tolerance leaks signal in *both* directions, so the
+typical signature is low RxPower on both sides with healthy TxPower
+(Table 2: ``H->L / L<-H``), and — distinctively — corruption on both
+directions, "which is otherwise rare (§3)".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.recommendation import RepairAction
+from repro.faults.condition import LinkCondition
+from repro.faults.root_causes import RootCause, repairs_that_fix
+from repro.optics.power import TECH_40G_LR4, TransceiverTech
+from repro.optics.transceiver import required_margin_for_rate
+
+#: Probability that the damage corrupts both directions above threshold.
+#: Calibrated against §3: 8.2% of corrupting links corrupt bidirectionally,
+#: and fiber damage (the dominant bidirectional cause, ~28% of instances at
+#: the Table-2 midpoint) accounts for nearly all of them: 0.28 * 0.3 ≈ 8%.
+#: RxPower still drops on *both* sides even when only one direction's loss
+#: crosses the lossy threshold, so Algorithm 1's both-sides-low rule works
+#: regardless.
+BIDIRECTIONAL_PROBABILITY = 0.3
+
+
+@dataclass
+class FiberDamageFault:
+    """A bent or physically damaged fiber cable.
+
+    Attributes:
+        target_rate: Corruption rate of the (worse) primary direction.
+        bidirectional: Whether the reverse direction also corrupts.
+        tech: Optical technology of the link.
+    """
+
+    target_rate: float
+    bidirectional: bool = True
+    tech: TransceiverTech = TECH_40G_LR4
+
+    cause = RootCause.DAMAGED_FIBER
+
+    @classmethod
+    def sample(
+        cls,
+        target_rate: float,
+        rng: random.Random,
+        tech: TransceiverTech = TECH_40G_LR4,
+    ) -> "FiberDamageFault":
+        return cls(
+            target_rate=target_rate,
+            bidirectional=rng.random() < BIDIRECTIONAL_PROBABILITY,
+            tech=tech,
+        )
+
+    def condition(self, rng: random.Random) -> LinkCondition:
+        """Emit the observable link condition (both sides' RxPower low)."""
+        tech = self.tech
+        tx = tech.nominal_tx_dbm
+        margin_fwd = required_margin_for_rate(self.target_rate)
+        rx1 = tech.thresholds.rx_min_dbm + margin_fwd
+        if self.bidirectional:
+            rev_rate = self.target_rate * rng.uniform(0.3, 1.0)
+            rx2 = tech.thresholds.rx_min_dbm + required_margin_for_rate(rev_rate)
+        else:
+            # The leak degrades both directions' power below the alarm
+            # threshold (Table 2: H->L / L<-H), but the reverse direction's
+            # decode margin keeps its loss under the 1e-8 lossy threshold.
+            rev_rate = 0.0
+            rx2 = tech.thresholds.rx_min_dbm + rng.uniform(-0.6, -0.1)
+        return LinkCondition(
+            tx1_dbm=tx,
+            rx1_dbm=rx1,
+            tx2_dbm=tx,
+            rx2_dbm=rx2,
+            fwd_rate=self.target_rate,
+            rev_rate=rev_rate,
+        )
+
+    def fixed_by(self, action: RepairAction) -> bool:
+        return action in repairs_that_fix(self.cause)

@@ -1,0 +1,108 @@
+"""Root causes of packet corruption and their Table-2 signatures.
+
+§4 distills ~300 trouble tickets plus contemporaneous optical monitoring
+into five root causes.  Table 2 records, for each cause, the most likely
+TxPower→RxPower signature of each link direction (High/Low) and the cause's
+relative contribution range (ranges because technicians bundle actions
+without logging which one repaired the link).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, Set, Tuple
+
+from repro.core.recommendation import RepairAction
+
+
+class RootCause(enum.Enum):
+    """The five root causes of §4, in the paper's order."""
+
+    CONNECTOR_CONTAMINATION = "connector contamination"
+    DAMAGED_FIBER = "bent or damaged fiber"
+    DECAYING_TRANSMITTER = "decaying transmitter"
+    BAD_OR_LOOSE_TRANSCEIVER = "bad or loose transceiver"
+    SHARED_COMPONENT = "shared component failure"
+
+
+#: Table 2 contribution ranges (percent of corruption instances).  The low
+#: end assumes a bundled action was *not* the culprit; the high end assumes
+#: it was.
+TABLE2_CONTRIBUTION_RANGE: Dict[RootCause, Tuple[float, float]] = {
+    RootCause.CONNECTOR_CONTAMINATION: (17.0, 57.0),
+    RootCause.DAMAGED_FIBER: (14.0, 48.0),
+    RootCause.DECAYING_TRANSMITTER: (0.0, 1.0),
+    RootCause.BAD_OR_LOOSE_TRANSCEIVER: (6.0, 45.0),
+    RootCause.SHARED_COMPONENT: (10.0, 26.0),
+}
+
+#: Table 2 "most likely symptom" notation (TxPower → RxPower per direction).
+TABLE2_SYMPTOM: Dict[RootCause, str] = {
+    RootCause.CONNECTOR_CONTAMINATION: "H->H / L<-H",
+    RootCause.DAMAGED_FIBER: "H->L / L<-H",
+    RootCause.DECAYING_TRANSMITTER: "*->* / L<-L",
+    RootCause.BAD_OR_LOOSE_TRANSCEIVER: "H->H / H<-H (single link)",
+    RootCause.SHARED_COMPONENT: "H->H / H<-H (co-located links)",
+}
+
+
+def cause_mix_midpoint() -> Dict[RootCause, float]:
+    """Normalized root-cause probabilities from Table 2 range midpoints.
+
+    Midpoints: 37, 31, 0.5, 25.5, 18 (sum 112) →
+    ≈ (0.330, 0.277, 0.004, 0.228, 0.161).
+    """
+    midpoints = {
+        cause: (low + high) / 2.0
+        for cause, (low, high) in TABLE2_CONTRIBUTION_RANGE.items()
+    }
+    total = sum(midpoints.values())
+    return {cause: value / total for cause, value in midpoints.items()}
+
+
+def sample_root_cause(
+    rng: random.Random, mix: Dict[RootCause, float] = None
+) -> RootCause:
+    """Draw a root cause from ``mix`` (default: Table-2 midpoints)."""
+    mix = mix or cause_mix_midpoint()
+    roll = rng.random()
+    cumulative = 0.0
+    last = None
+    for cause, probability in mix.items():
+        cumulative += probability
+        last = cause
+        if roll < cumulative:
+            return cause
+    return last  # float slack
+
+
+def repairs_that_fix(cause: RootCause, loose: bool = False) -> Set[RepairAction]:
+    """Repair actions that eliminate corruption for a given root cause.
+
+    §4/§5.2 semantics:
+
+    - contamination: cleaning removes dirt; replacing the cable also ships
+      clean connectors;
+    - damaged fiber: only replacement helps;
+    - decaying transmitter: replace the far-side (sending) transceiver;
+    - loose transceiver: reseat (or a fresh, firmly seated replacement);
+      a *bad* transceiver needs replacement — reseating does nothing;
+    - shared component: replace the breakout cable / switch component.
+    """
+    if cause is RootCause.CONNECTOR_CONTAMINATION:
+        return {RepairAction.CLEAN_FIBER, RepairAction.REPLACE_CABLE}
+    if cause is RootCause.DAMAGED_FIBER:
+        return {RepairAction.REPLACE_CABLE}
+    if cause is RootCause.DECAYING_TRANSMITTER:
+        return {RepairAction.REPLACE_TRANSCEIVER_REMOTE}
+    if cause is RootCause.BAD_OR_LOOSE_TRANSCEIVER:
+        if loose:
+            return {
+                RepairAction.RESEAT_TRANSCEIVER,
+                RepairAction.REPLACE_TRANSCEIVER,
+            }
+        return {RepairAction.REPLACE_TRANSCEIVER}
+    if cause is RootCause.SHARED_COMPONENT:
+        return {RepairAction.REPLACE_SHARED_COMPONENT}
+    raise ValueError(f"unknown root cause {cause!r}")

@@ -1,0 +1,92 @@
+"""Root cause 5: shared-component failure (§4).
+
+Breakout cables and switch backplanes are shared by several links; when one
+fails, multiple links on the same switch corrupt *simultaneously, with
+similar loss rates and good optical power on all of them* (Table 2:
+``H->H / H<-H``, co-located links).  This cause is "primarily responsible
+for the spatial locality of packet corruption (§3)".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.recommendation import RepairAction
+from repro.faults.condition import LinkCondition
+from repro.faults.root_causes import RootCause, repairs_that_fix
+from repro.optics.power import TECH_40G_LR4, TransceiverTech
+
+#: Typical number of links a shared component (e.g. a 4x breakout) takes out.
+DEFAULT_GROUP_SIZE_RANGE = (2, 4)
+
+#: Probability the co-location signature is visible at diagnosis time (the
+#: sibling faults may surface in later polling intervals, so occasionally a
+#: shared failure first looks like a lone bad transceiver).
+CO_LOCATED_VISIBLE_PROBABILITY = 0.95
+
+
+@dataclass
+class SharedComponentFault:
+    """A failing breakout cable or switch backplane region.
+
+    Attributes:
+        target_rate: Base corruption rate; member links corrupt at this rate
+            up to small jitter ("the corruption loss rate on these links is
+            similar").
+        group_size: Number of co-located member links.
+        tech: Optical technology of the links.
+    """
+
+    target_rate: float
+    group_size: int = 4
+    tech: TransceiverTech = TECH_40G_LR4
+    _visible: bool = field(default=True, repr=False)
+
+    cause = RootCause.SHARED_COMPONENT
+
+    @classmethod
+    def sample(
+        cls,
+        target_rate: float,
+        rng: random.Random,
+        tech: TransceiverTech = TECH_40G_LR4,
+    ) -> "SharedComponentFault":
+        low, high = DEFAULT_GROUP_SIZE_RANGE
+        return cls(
+            target_rate=target_rate,
+            group_size=rng.randint(low, high),
+            tech=tech,
+            _visible=rng.random() < CO_LOCATED_VISIBLE_PROBABILITY,
+        )
+
+    def condition(self, rng: random.Random) -> LinkCondition:
+        """Observable condition of one member link."""
+        return self.group_conditions(rng)[0]
+
+    def group_conditions(self, rng: random.Random) -> List[LinkCondition]:
+        """Observable conditions of every member link.
+
+        All members show healthy power and similar corruption rates.
+        """
+        tech = self.tech
+        healthy_rx = tech.healthy_rx_dbm()
+        conditions = []
+        for _ in range(self.group_size):
+            rate = self.target_rate * rng.uniform(0.8, 1.25)
+            conditions.append(
+                LinkCondition(
+                    tx1_dbm=tech.nominal_tx_dbm,
+                    rx1_dbm=healthy_rx + rng.uniform(-0.5, 0.5),
+                    tx2_dbm=tech.nominal_tx_dbm,
+                    rx2_dbm=healthy_rx + rng.uniform(-0.5, 0.5),
+                    fwd_rate=min(rate, 0.3),
+                    rev_rate=0.0,
+                    co_located=self._visible,
+                )
+            )
+        return conditions
+
+    def fixed_by(self, action: RepairAction) -> bool:
+        return action in repairs_that_fix(self.cause)

@@ -1,0 +1,69 @@
+"""Root cause 4: bad or loose transceiver (§4).
+
+A defective module, or one not firmly plugged in, corrupts packets even
+though "optical TxPower and RxPower on both sides of the link are most
+likely high" (Table 2: ``H->H / H<-H``, single link).  Reseating fixes a
+loose module; a bad one must be replaced — which is why Algorithm 1 tries
+reseat first and replacement only when the history shows a recent reseat.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.recommendation import RepairAction
+from repro.faults.condition import LinkCondition
+from repro.faults.root_causes import RootCause, repairs_that_fix
+from repro.optics.power import TECH_40G_LR4, TransceiverTech
+
+#: Among bad-or-loose faults, the share that are merely loose (fixable by a
+#: reseat).  Calibrated so Algorithm 1's first-attempt accuracy on this
+#: class is ~50%, consistent with the paper's aggregate 80%.
+LOOSE_PROBABILITY = 0.5
+
+
+@dataclass
+class TransceiverFault:
+    """A bad or loosely-seated transceiver on the receive side.
+
+    Attributes:
+        target_rate: Corruption rate of the affected direction.
+        loose: True for a loose (reseat-fixable) module, False for a bad one.
+        tech: Optical technology of the link.
+    """
+
+    target_rate: float
+    loose: bool = False
+    tech: TransceiverTech = TECH_40G_LR4
+
+    cause = RootCause.BAD_OR_LOOSE_TRANSCEIVER
+
+    @classmethod
+    def sample(
+        cls,
+        target_rate: float,
+        rng: random.Random,
+        tech: TransceiverTech = TECH_40G_LR4,
+    ) -> "TransceiverFault":
+        return cls(
+            target_rate=target_rate,
+            loose=rng.random() < LOOSE_PROBABILITY,
+            tech=tech,
+        )
+
+    def condition(self, rng: random.Random) -> LinkCondition:
+        """Emit the observable condition: healthy power, corrupting link."""
+        tech = self.tech
+        healthy_rx = tech.healthy_rx_dbm()
+        return LinkCondition(
+            tx1_dbm=tech.nominal_tx_dbm,
+            rx1_dbm=healthy_rx + rng.uniform(-0.5, 0.5),
+            tx2_dbm=tech.nominal_tx_dbm,
+            rx2_dbm=healthy_rx + rng.uniform(-0.5, 0.5),
+            fwd_rate=self.target_rate,
+            rev_rate=0.0,
+        )
+
+    def fixed_by(self, action: RepairAction) -> bool:
+        return action in repairs_that_fix(self.cause, loose=self.loose)

@@ -1,0 +1,43 @@
+"""Optical-layer substrate: power math, transceiver technologies, decoding.
+
+§4: "In modern DCNs, all inter-switch links tend to be optical."  The fault
+models (:mod:`repro.faults`) and the recommendation engine
+(:mod:`repro.core.recommendation`) both speak in terms of the Tx/RxPower
+levels this package defines.
+"""
+
+from repro.optics.power import (
+    DEPLOYED_SINGLE_RX_THRESHOLD_DBM,
+    DEPLOYED_SINGLE_TX_THRESHOLD_DBM,
+    TECH_10G_SR,
+    TECH_40G_LR4,
+    TECH_100G_CWDM4,
+    TECHNOLOGIES,
+    PowerThresholds,
+    TransceiverTech,
+    attenuate,
+    dbm_to_mw,
+    mw_to_dbm,
+)
+from repro.optics.transceiver import (
+    LinkOptics,
+    Transceiver,
+    decode_corruption_rate,
+)
+
+__all__ = [
+    "DEPLOYED_SINGLE_RX_THRESHOLD_DBM",
+    "DEPLOYED_SINGLE_TX_THRESHOLD_DBM",
+    "LinkOptics",
+    "PowerThresholds",
+    "TECH_100G_CWDM4",
+    "TECH_10G_SR",
+    "TECH_40G_LR4",
+    "TECHNOLOGIES",
+    "Transceiver",
+    "TransceiverTech",
+    "attenuate",
+    "dbm_to_mw",
+    "decode_corruption_rate",
+    "mw_to_dbm",
+]

@@ -1,0 +1,25 @@
+"""Routing substrate: ECMP, flows, and re-routing around disables (§8).
+
+CorrOpt's disables are "link failures" from the load balancer's point of
+view; this package provides the ECMP machinery to quantify the traffic
+impact — which flows move when a link goes down, and whether flowlet
+switching avoids the reordering the paper warns about.
+"""
+
+from repro.routing.ecmp import EcmpRouter, Flow, enumerate_up_paths
+from repro.routing.rerouting import (
+    FlowMove,
+    ReroutePlan,
+    generate_tor_flows,
+    plan_reroute,
+)
+
+__all__ = [
+    "EcmpRouter",
+    "Flow",
+    "FlowMove",
+    "ReroutePlan",
+    "enumerate_up_paths",
+    "generate_tor_flows",
+    "plan_reroute",
+]

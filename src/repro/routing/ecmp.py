@@ -1,0 +1,125 @@
+"""ECMP routing over a staged Clos (the §8 load-balancing substrate).
+
+§8: "Standard load balancing techniques work seamlessly atop CorrOpt.
+Links taken offline by CorrOpt can be seen as link failures which is a
+standard input into load balancing schemes."  This module provides that
+standard machinery: per-hop ECMP next-hop selection by flow hash, full
+valley-free path enumeration, and path resolution for concrete flows —
+enough to quantify what re-routing a disable causes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.topology.elements import LinkId
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A five-tuple-ish flow identity, reduced to what hashing needs.
+
+    Attributes:
+        src_tor: Source ToR name.
+        dst_tor: Destination ToR name (informational; up-paths are hashed
+            from the source side).
+        flow_label: Distinguishes flows between the same ToR pair (ports).
+    """
+
+    src_tor: str
+    dst_tor: str
+    flow_label: int = 0
+
+    def hash_key(self, hop: str, salt: int = 0) -> int:
+        """Deterministic per-hop ECMP hash."""
+        material = f"{self.src_tor}|{self.dst_tor}|{self.flow_label}|{hop}|{salt}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+
+class EcmpRouter:
+    """Hash-based ECMP up-path selection over enabled links.
+
+    Args:
+        topo: Live topology; disabled links drop out of the next-hop sets
+            automatically, which is exactly how CorrOpt's disables feed
+            load balancing (§8).
+        salt: Hash salt (models switch hash-seed diversity).
+    """
+
+    def __init__(self, topo: Topology, salt: int = 0):
+        self._topo = topo
+        self.salt = salt
+
+    def next_hop_links(self, switch: str) -> List[LinkId]:
+        """Enabled uplinks of ``switch`` (its ECMP group toward the spine)."""
+        return self._topo.enabled_uplinks(switch)
+
+    def select_uplink(self, switch: str, flow: Flow) -> Optional[LinkId]:
+        """The ECMP member this flow hashes to at ``switch``.
+
+        Returns None when the switch has no enabled uplinks (the flow is
+        stranded — the situation capacity constraints exist to prevent).
+        """
+        group = self.next_hop_links(switch)
+        if not group:
+            return None
+        index = flow.hash_key(switch, self.salt) % len(group)
+        return group[index]
+
+    def up_path(self, flow: Flow) -> Optional[List[LinkId]]:
+        """The flow's full up-path from its source ToR to the spine."""
+        top = self._topo.num_stages - 1
+        current = flow.src_tor
+        path: List[LinkId] = []
+        while self._topo.switch(current).stage < top:
+            link = self.select_uplink(current, flow)
+            if link is None:
+                return None
+            path.append(link)
+            current = self._topo.link(link).upper
+        return path
+
+    def flows_over_link(
+        self, flows: Iterator[Flow], link_id: LinkId
+    ) -> List[Flow]:
+        """Which of ``flows`` currently traverse ``link_id``."""
+        hit = []
+        for flow in flows:
+            path = self.up_path(flow)
+            if path and link_id in path:
+                hit.append(flow)
+        return hit
+
+
+def enumerate_up_paths(
+    topo: Topology, tor: str, limit: Optional[int] = None
+) -> List[Tuple[LinkId, ...]]:
+    """All enabled valley-free up-paths from ``tor`` to the spine.
+
+    The "naive implementation" §5.1 warns about — exponential in tiers —
+    provided for verification of the path-counting DP and for small-scale
+    routing analyses.
+
+    Args:
+        topo: The topology.
+        tor: Source ToR.
+        limit: Stop after this many paths (None = all).
+    """
+    top = topo.num_stages - 1
+    paths: List[Tuple[LinkId, ...]] = []
+
+    def walk(switch: str, so_far: Tuple[LinkId, ...]) -> bool:
+        if topo.switch(switch).stage == top:
+            paths.append(so_far)
+            return limit is not None and len(paths) >= limit
+        for link in topo.enabled_uplinks(switch):
+            if walk(topo.link(link).upper, so_far + (link,)):
+                return True
+        return False
+
+    walk(tor, ())
+    return paths

@@ -1,0 +1,52 @@
+"""Event-driven mitigation simulation (§7.1's evaluation apparatus).
+
+- :class:`~repro.simulation.engine.MitigationSimulation` — replay a
+  corruption trace under a strategy + repair model;
+- strategies: CorrOpt, fast-checker-only, switch-local, none, drain;
+- :class:`~repro.simulation.metrics.StepSeries` — exact piecewise-constant
+  penalty/capacity series;
+- scenario presets for the medium/large DCNs.
+"""
+
+from repro.simulation.engine import (
+    MitigationSimulation,
+    SimulationResult,
+    run_comparison,
+)
+from repro.simulation.metrics import SimulationMetrics, StepSeries
+from repro.simulation.scenarios import (
+    Scenario,
+    large_scenario,
+    make_scenario,
+    medium_scenario,
+    run_scenario,
+    standard_strategies,
+)
+from repro.simulation.strategies import (
+    CorrOptStrategy,
+    DrainStrategy,
+    FastCheckerOnlyStrategy,
+    MitigationStrategy,
+    NoMitigationStrategy,
+    SwitchLocalStrategy,
+)
+
+__all__ = [
+    "CorrOptStrategy",
+    "DrainStrategy",
+    "FastCheckerOnlyStrategy",
+    "MitigationSimulation",
+    "MitigationStrategy",
+    "NoMitigationStrategy",
+    "Scenario",
+    "SimulationMetrics",
+    "SimulationResult",
+    "StepSeries",
+    "SwitchLocalStrategy",
+    "large_scenario",
+    "make_scenario",
+    "medium_scenario",
+    "run_comparison",
+    "run_scenario",
+    "standard_strategies",
+]

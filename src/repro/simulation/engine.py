@@ -1,0 +1,288 @@
+"""The event-driven mitigation simulator (§7.1's experimental apparatus).
+
+Replays a corruption trace against a topology under a mitigation strategy
+and a repair model, recording exact (event-resolution) penalty and capacity
+time series:
+
+- corruption onsets arrive from the trace; the strategy decides whether to
+  disable each newly corrupting link;
+- disabled links enter repair; by default the paper's simplified model
+  (repaired in 2 days with probability ``repair_accuracy``, else 4 days);
+- on every activation the strategy may disable additional corrupting links
+  ("Link activations allow other remaining corrupting links to be turned
+  off", §5.1);
+- optionally, full repair cycles are simulated (Figure 12): a failed
+  repair re-enables a still-corrupting link, which is re-detected and
+  re-disabled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.path_counting import PathCounter
+from repro.core.penalty import PenaltyFn, linear_penalty, total_penalty
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.strategies import MitigationStrategy
+from repro.ticketing.queue import TechnicianPoolQueue
+from repro.ticketing.ticket import Ticket
+from repro.topology.elements import Direction, LinkId, LinkState
+from repro.topology.graph import Topology
+from repro.workloads.trace import CorruptionTrace
+
+DAY_S = 86_400.0
+
+_ONSET, _REPAIR, _POOL_CHECK = 0, 1, 2
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one mitigation run."""
+
+    strategy_name: str
+    duration_s: float
+    metrics: SimulationMetrics
+
+    @property
+    def penalty_integral(self) -> float:
+        """∫ penalty dt over the run (the Figure-17 comparison quantity)."""
+        return self.metrics.total_penalty_integral(self.duration_s)
+
+    def mean_penalty(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.penalty_integral / self.duration_s
+
+
+class MitigationSimulation:
+    """Replay a trace under one strategy.
+
+    Args:
+        topo: Topology (mutated during the run; pass a copy to reuse).
+        trace: Corruption-onset trace.
+        strategy: Mitigation policy bound to ``topo``.
+        repair_accuracy: First-attempt repair success probability (0.8 with
+            CorrOpt recommendations, 0.5 without; §7.2).
+        service_days: Ticket service time per attempt (§5.2: two days).
+        penalty_fn: Penalty function ``I(f)``.
+        seed: RNG seed for repair outcomes.
+        track_capacity: Record ToR path-fraction series (costs one O(|E|)
+            DP per state change).
+        full_repair_cycles: Simulate failed repairs as re-enable →
+            re-detect → re-disable cycles instead of folding them into a
+            doubled service time.
+        technician_pool: When set, repairs flow through a FIFO queue
+            drained by this many technicians (the paper's observation that
+            "the exact time needed for a fix depends on the number of
+            tickets in the queue"), instead of the fixed 2-or-4-day model.
+            Failed repairs resubmit the ticket for another service round.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        trace: CorruptionTrace,
+        strategy: MitigationStrategy,
+        repair_accuracy: float = 0.8,
+        service_days: float = 2.0,
+        penalty_fn: PenaltyFn = linear_penalty,
+        seed: int = 0,
+        track_capacity: bool = True,
+        full_repair_cycles: bool = False,
+        technician_pool: Optional[int] = None,
+    ):
+        if not 0.0 <= repair_accuracy <= 1.0:
+            raise ValueError("repair accuracy outside [0, 1]")
+        self.topo = topo
+        self.trace = trace
+        self.strategy = strategy
+        self.repair_accuracy = repair_accuracy
+        self.service_s = service_days * DAY_S
+        self.penalty_fn = penalty_fn
+        self.rng = random.Random(seed)
+        self.track_capacity = track_capacity
+        self.full_repair_cycles = full_repair_cycles
+        self.metrics = SimulationMetrics()
+        self._counter = PathCounter(topo) if track_capacity else None
+        self._rates: Dict[LinkId, float] = {}
+        self._tiebreak = itertools.count()
+        self._pool: Optional[TechnicianPoolQueue] = None
+        if technician_pool is not None:
+            self._pool = TechnicianPoolQueue(
+                num_technicians=technician_pool,
+                service_time_s=self.service_s,
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def _snapshot(self, time_s: float) -> None:
+        self.metrics.penalty.record(
+            time_s, total_penalty(self.topo, self.penalty_fn)
+        )
+        if self._counter is not None:
+            fractions = self._counter.tor_fractions()
+            values = list(fractions.values())
+            self.metrics.worst_tor_fraction.record(time_s, min(values))
+            self.metrics.average_tor_fraction.record(
+                time_s, sum(values) / len(values)
+            )
+
+    def _schedule_repair(self, heap, time_s: float, link_id: LinkId) -> None:
+        if self._pool is not None:
+            self._pool.submit(Ticket(link_id=link_id, created_s=time_s), time_s)
+            self._schedule_pool_check(heap)
+            return
+        if self.full_repair_cycles:
+            done = time_s + self.service_s
+        else:
+            # Paper model: failed first repairs fold into a doubled stay.
+            attempts = 1 if self.rng.random() < self.repair_accuracy else 2
+            done = time_s + attempts * self.service_s
+        heapq.heappush(heap, (done, _REPAIR, next(self._tiebreak), link_id))
+
+    def _schedule_pool_check(self, heap) -> None:
+        completion = self._pool.next_completion()
+        if completion is not None:
+            heapq.heappush(
+                heap, (completion, _POOL_CHECK, next(self._tiebreak), None)
+            )
+
+    def run(self) -> SimulationResult:
+        """Execute the full trace; returns the recorded metrics."""
+        heap = []
+        for event in self.trace.events:
+            heapq.heappush(
+                heap, (event.time_s, _ONSET, next(self._tiebreak), event)
+            )
+        duration_s = self.trace.duration_days * DAY_S
+
+        while heap:
+            time_s, kind, _tie, payload = heapq.heappop(heap)
+            if kind == _ONSET:
+                self._handle_onset(heap, time_s, payload)
+            elif kind == _POOL_CHECK:
+                self._handle_pool_check(heap, time_s)
+            else:
+                self._handle_repair_completion(heap, time_s, payload)
+            self._snapshot(time_s)
+
+        return SimulationResult(
+            strategy_name=self.strategy.name,
+            duration_s=duration_s,
+            metrics=self.metrics,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _handle_onset(self, heap, time_s: float, event) -> None:
+        for link_id, condition in zip(event.link_ids, event.conditions):
+            link = self.topo.link(link_id)
+            if not link.enabled or link_id in self._rates:
+                continue  # already mitigated or already corrupting
+            self.metrics.onsets += 1
+            self._rates[link_id] = condition.fwd_rate
+            self.topo.set_corruption(link_id, condition.fwd_rate, Direction.UP)
+            if condition.rev_rate > 0:
+                self.topo.set_corruption(
+                    link_id, condition.rev_rate, Direction.DOWN
+                )
+            if self.strategy.on_onset(link_id):
+                self.metrics.disabled_on_onset += 1
+                self._schedule_repair(heap, time_s, link_id)
+            else:
+                self.metrics.kept_active_on_onset += 1
+
+    def _handle_pool_check(self, heap, time_s: float) -> None:
+        """Drain finished technician visits; failed repairs re-enter the
+        queue for another service round (each failed attempt adds another
+        full service time, §5.2)."""
+        for ticket in self._pool.pop_due(time_s):
+            if self.rng.random() < self.repair_accuracy:
+                self.topo.clear_corruption(ticket.link_id)
+                self._rates.pop(ticket.link_id, None)
+                self.metrics.repairs_completed += 1
+                self.topo.enable_link(ticket.link_id)
+                for newly_disabled in self.strategy.on_activation():
+                    self.metrics.disabled_on_activation += 1
+                    self._schedule_repair(heap, time_s, newly_disabled)
+            else:
+                self.metrics.failed_repairs += 1
+                self._pool.submit(
+                    Ticket(link_id=ticket.link_id, created_s=time_s), time_s
+                )
+        self._schedule_pool_check(heap)
+
+    def _handle_repair_completion(self, heap, time_s: float, link_id) -> None:
+        success = True
+        if self.full_repair_cycles:
+            success = self.rng.random() < self.repair_accuracy
+        if success:
+            self.topo.clear_corruption(link_id)
+            self._rates.pop(link_id, None)
+            self.metrics.repairs_completed += 1
+        else:
+            self.metrics.failed_repairs += 1
+        self.topo.enable_link(link_id)
+
+        if not success:
+            # Still corrupting: the monitoring pipeline re-detects it and
+            # the strategy re-decides immediately (Figure 12's cycle).
+            if self.strategy.on_onset(link_id):
+                self._schedule_repair(heap, time_s, link_id)
+                return
+
+        # A genuine activation frees capacity: let the strategy re-evaluate
+        # the corrupting links it previously had to keep active.
+        for newly_disabled in self.strategy.on_activation():
+            self.metrics.disabled_on_activation += 1
+            self._schedule_repair(heap, time_s, newly_disabled)
+
+
+def run_comparison(
+    topo_factory,
+    trace: CorruptionTrace,
+    strategies: Dict[str, "StrategyFactory"],
+    repair_accuracy: float = 0.8,
+    seed: int = 0,
+    track_capacity: bool = True,
+    penalty_fn: Optional[PenaltyFn] = None,
+) -> Dict[str, SimulationResult]:
+    """Run the same trace under several strategies on fresh topology copies.
+
+    Args:
+        topo_factory: Zero-arg callable producing a fresh topology.
+        trace: Shared corruption trace.
+        strategies: Mapping name → callable(topo) → strategy.
+        repair_accuracy: Shared repair model (the paper isolates the
+            disabling strategy by coupling both methods with the same
+            repair effectiveness).
+        seed: Shared repair RNG seed.
+        track_capacity: Record ToR-fraction series.
+        penalty_fn: Penalty function (default linear).
+
+    Returns:
+        Mapping name → result.
+    """
+    results: Dict[str, SimulationResult] = {}
+    for name, factory in strategies.items():
+        topo = topo_factory()
+        strategy = factory(topo)
+        sim = MitigationSimulation(
+            topo,
+            trace,
+            strategy,
+            repair_accuracy=repair_accuracy,
+            seed=seed,
+            track_capacity=track_capacity,
+            penalty_fn=penalty_fn or linear_penalty,
+        )
+        results[name] = sim.run()
+    return results
+
+
+#: Type alias for documentation purposes.
+StrategyFactory = object

@@ -1,0 +1,139 @@
+"""Scenario presets for the §7 evaluations.
+
+Bundles (topology factory, trace, constraint) the way the paper's
+simulations do: medium/large DCN topologies with Oct–Dec-style corruption
+traces.  A ``scale`` knob shrinks topologies shape-preservingly so tests
+and CI runs stay fast; benchmarks can run closer to paper size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.constraints import CapacityConstraint
+from repro.simulation.engine import MitigationSimulation, SimulationResult
+from repro.simulation.strategies import (
+    CorrOptStrategy,
+    FastCheckerOnlyStrategy,
+    NoMitigationStrategy,
+    SwitchLocalStrategy,
+)
+from repro.topology.graph import Topology
+from repro.workloads.dcn_profiles import DCNProfile, LARGE_DCN, MEDIUM_DCN
+from repro.workloads.generator import deduplicate_active, generate_trace
+from repro.workloads.trace import CorruptionTrace
+
+
+@dataclass
+class Scenario:
+    """A reproducible evaluation setting.
+
+    Attributes:
+        name: Scenario label.
+        profile: DCN shape.
+        scale: Topology scale factor.
+        trace: Corruption trace generated for the scaled topology.
+        capacity: Default per-ToR constraint (the paper's realistic regime
+            is 75%).
+    """
+
+    name: str
+    profile: DCNProfile
+    scale: float
+    trace: CorruptionTrace
+    capacity: float = 0.75
+
+    _base_topo: Topology = None  # type: ignore[assignment]
+
+    def topo_factory(self) -> Topology:
+        """A fresh, pristine copy of the scenario topology."""
+        return self._base_topo.copy()
+
+    def constraint(self) -> CapacityConstraint:
+        return CapacityConstraint(self.capacity)
+
+
+def make_scenario(
+    profile: DCNProfile = MEDIUM_DCN,
+    scale: float = 0.25,
+    duration_days: float = 30.0,
+    seed: int = 0,
+    capacity: float = 0.75,
+    events_per_10k_links_per_day: float = 4.0,
+) -> Scenario:
+    """Build a scenario: scaled topology + corruption trace.
+
+    Traces are deduplicated so each link has at most one outstanding fault,
+    matching the simulator's link-lifecycle model.
+    """
+    topo = profile.build(scale=scale)
+    trace = deduplicate_active(
+        generate_trace(
+            topo,
+            duration_days=duration_days,
+            seed=seed,
+            events_per_10k_links_per_day=events_per_10k_links_per_day,
+        )
+    )
+    scenario = Scenario(
+        name=f"{profile.name}-x{scale}",
+        profile=profile,
+        scale=scale,
+        trace=trace,
+        capacity=capacity,
+    )
+    scenario._base_topo = topo
+    return scenario
+
+
+def medium_scenario(**kwargs) -> Scenario:
+    """§7.1's medium DCN (O(15K) links at scale 1.0)."""
+    return make_scenario(profile=MEDIUM_DCN, **kwargs)
+
+
+def large_scenario(**kwargs) -> Scenario:
+    """§7.1's large DCN (O(35K) links at scale 1.0)."""
+    return make_scenario(profile=LARGE_DCN, **kwargs)
+
+
+def standard_strategies(
+    capacity: float,
+) -> Dict[str, Callable[[Topology], object]]:
+    """The paper's strategy lineup, as factories over a fresh topology."""
+    constraint = CapacityConstraint(capacity)
+    return {
+        "corropt": lambda topo: CorrOptStrategy(topo, constraint),
+        "fast-checker-only": lambda topo: FastCheckerOnlyStrategy(
+            topo, constraint
+        ),
+        "switch-local": lambda topo: SwitchLocalStrategy(topo, constraint),
+        "none": lambda topo: NoMitigationStrategy(topo),
+    }
+
+
+def run_scenario(
+    scenario: Scenario,
+    strategy_name: str = "corropt",
+    repair_accuracy: float = 0.8,
+    seed: int = 0,
+    track_capacity: bool = True,
+) -> SimulationResult:
+    """Run one strategy over a scenario on a fresh topology copy."""
+    factories = standard_strategies(scenario.capacity)
+    if strategy_name not in factories:
+        raise ValueError(
+            f"unknown strategy {strategy_name!r}; "
+            f"choose from {sorted(factories)}"
+        )
+    topo = scenario.topo_factory()
+    strategy = factories[strategy_name](topo)
+    sim = MitigationSimulation(
+        topo,
+        scenario.trace,
+        strategy,
+        repair_accuracy=repair_accuracy,
+        seed=seed,
+        track_capacity=track_capacity,
+    )
+    return sim.run()

@@ -1,0 +1,153 @@
+"""Mitigation strategies: the policies §7.1 compares.
+
+A strategy answers two questions against a live topology:
+
+- ``on_onset(link_id)`` — a link just started corrupting; disable it?
+- ``on_activation()`` — a link just came back; which previously
+  kept-active corrupting links can be disabled now?
+
+Implementations:
+
+- :class:`CorrOptStrategy` — fast checker on onset, global optimizer on
+  activation (the paper's system);
+- :class:`FastCheckerOnlyStrategy` — fast checker for both (the Figure-18
+  ablation);
+- :class:`SwitchLocalStrategy` — the production baseline;
+- :class:`NoMitigationStrategy` — never disables (scale reference);
+- :class:`DrainStrategy` — §8 extension: drains traffic instead of hard
+  disable (same decisions as CorrOpt; drained links keep monitoring alive).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.constraints import CapacityConstraint
+from repro.core.fast_checker import FastChecker
+from repro.core.optimizer import GlobalOptimizer
+from repro.core.path_counting import PathCounter
+from repro.core.penalty import PenaltyFn, linear_penalty
+from repro.core.switch_local import SwitchLocalChecker
+from repro.topology.elements import LinkId
+from repro.topology.graph import Topology
+
+
+class MitigationStrategy:
+    """Interface; see module docstring."""
+
+    name = "abstract"
+
+    def on_onset(self, link_id: LinkId) -> bool:
+        """Return True (and disable the link) when it can safely go down."""
+        raise NotImplementedError
+
+    def on_activation(self) -> List[LinkId]:
+        """Re-evaluate after an activation; return newly disabled links."""
+        raise NotImplementedError
+
+
+class CorrOptStrategy(MitigationStrategy):
+    """The full CorrOpt policy (§5.1): fast checker + optimizer."""
+
+    name = "corropt"
+
+    def __init__(
+        self,
+        topo: Topology,
+        constraint: CapacityConstraint,
+        penalty_fn: PenaltyFn = linear_penalty,
+    ):
+        self.topo = topo
+        self.counter = PathCounter(topo)
+        self.fast_checker = FastChecker(topo, constraint, counter=self.counter)
+        self.optimizer = GlobalOptimizer(
+            topo, constraint, penalty_fn=penalty_fn, counter=self.counter
+        )
+
+    def on_onset(self, link_id: LinkId) -> bool:
+        return self.fast_checker.check_and_disable(link_id).allowed
+
+    def on_activation(self) -> List[LinkId]:
+        return sorted(self.optimizer.optimize().to_disable)
+
+
+class FastCheckerOnlyStrategy(MitigationStrategy):
+    """Fast checker everywhere (greedy re-sweep on activation)."""
+
+    name = "fast-checker-only"
+
+    def __init__(self, topo: Topology, constraint: CapacityConstraint):
+        self.topo = topo
+        self.fast_checker = FastChecker(topo, constraint)
+
+    def on_onset(self, link_id: LinkId) -> bool:
+        return self.fast_checker.check_and_disable(link_id).allowed
+
+    def on_activation(self) -> List[LinkId]:
+        results = self.fast_checker.sweep(self.topo.corrupting_links())
+        return [r.link_id for r in results if r.allowed]
+
+
+class SwitchLocalStrategy(MitigationStrategy):
+    """Today's practice: local uplink-count thresholds (§5.1)."""
+
+    name = "switch-local"
+
+    def __init__(
+        self,
+        topo: Topology,
+        constraint: CapacityConstraint,
+        sc: Optional[float] = None,
+    ):
+        self.topo = topo
+        self.checker = SwitchLocalChecker(topo, constraint, sc=sc)
+
+    def on_onset(self, link_id: LinkId) -> bool:
+        return self.checker.check_and_disable(link_id).allowed
+
+    def on_activation(self) -> List[LinkId]:
+        return self.checker.reevaluate()
+
+
+class NoMitigationStrategy(MitigationStrategy):
+    """Never disable anything; corruption accumulates unchecked.
+
+    §2 estimates that without the existing mitigation system, corruption
+    losses "would be two orders of magnitude higher" — this strategy is
+    the reference point for that claim.
+    """
+
+    name = "none"
+
+    def __init__(self, topo: Topology):
+        self.topo = topo
+
+    def on_onset(self, link_id: LinkId) -> bool:
+        return False
+
+    def on_activation(self) -> List[LinkId]:
+        return []
+
+
+class DrainStrategy(CorrOptStrategy):
+    """§8 extension: remove traffic instead of hard-disabling.
+
+    Decision logic is identical to CorrOpt (a drained link provides no
+    capacity either), but links are put in the DRAINED state so optical
+    monitoring keeps flowing and repairs can be verified with test traffic
+    before re-admitting production traffic.
+    """
+
+    name = "drain"
+
+    def on_onset(self, link_id: LinkId) -> bool:
+        allowed = self.fast_checker.check(link_id).allowed
+        if allowed:
+            self.topo.drain_link(link_id)
+        return allowed
+
+    def on_activation(self) -> List[LinkId]:
+        result = self.optimizer.plan()
+        for lid in result.to_disable:
+            self.topo.drain_link(lid)
+        return sorted(result.to_disable)

@@ -1,0 +1,26 @@
+"""SNMP-style monitoring substrate (§2's measurement apparatus).
+
+- :class:`~repro.telemetry.counters.DirectionCounters` — cumulative
+  total/error/drop counters per link direction;
+- :class:`~repro.telemetry.poller.SnmpPoller` — 15-minute polling loop;
+- :class:`~repro.telemetry.store.TelemetryStore` — per-direction series;
+- :class:`~repro.telemetry.timeseries.TimeSeries` — the reductions the
+  paper's figures use (CV, Pearson, daily sums, CDFs).
+"""
+
+from repro.telemetry.counters import CounterSnapshot, DirectionCounters
+from repro.telemetry.poller import POLL_INTERVAL_S, OpticalReading, SnmpPoller
+from repro.telemetry.store import TelemetryStore
+from repro.telemetry.timeseries import TimeSeries, cdf_points, percentile
+
+__all__ = [
+    "CounterSnapshot",
+    "DirectionCounters",
+    "OpticalReading",
+    "POLL_INTERVAL_S",
+    "SnmpPoller",
+    "TelemetryStore",
+    "TimeSeries",
+    "cdf_points",
+    "percentile",
+]

@@ -1,0 +1,134 @@
+"""The 15-minute SNMP poller and its per-link monitoring records.
+
+§2: counters and optical power are queried every 15 minutes; "our network
+operators found SNMP to be a reliable and lightweight mechanism".  The
+poller walks a topology at each tick, derives per-direction loss rates from
+counter differences, and appends to a :class:`~repro.telemetry.store.
+TelemetryStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.telemetry.counters import CounterSnapshot, DirectionCounters
+from repro.telemetry.store import TelemetryStore
+from repro.topology.elements import Direction, DirectionId, LinkId
+from repro.topology.graph import Topology
+
+POLL_INTERVAL_S = 900.0  # 15 minutes
+
+
+@dataclass
+class OpticalReading:
+    """Optical power levels of one link at one poll."""
+
+    time_s: float
+    tx_lower_dbm: float
+    rx_lower_dbm: float
+    tx_upper_dbm: float
+    rx_upper_dbm: float
+
+
+class SnmpPoller:
+    """Polls a topology every 15 minutes into a telemetry store.
+
+    Traffic on each direction is supplied by a callable (the congestion
+    substrate provides realistic diurnal traffic; tests can use constants).
+
+    Args:
+        topo: Topology to monitor.
+        store: Destination store.
+        packets_fn: ``(direction_id, time_s) -> offered packets`` for the
+            interval ending at ``time_s``.
+        congestion_fn: Optional ``(direction_id, time_s) -> loss rate`` for
+            congestion drops (default: none).
+        interval_s: Poll spacing.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        store: TelemetryStore,
+        packets_fn: Callable[[DirectionId, float], int],
+        congestion_fn: Optional[Callable[[DirectionId, float], float]] = None,
+        interval_s: float = POLL_INTERVAL_S,
+    ):
+        self._topo = topo
+        self._store = store
+        self._packets_fn = packets_fn
+        self._congestion_fn = congestion_fn or (lambda _did, _t: 0.0)
+        self.interval_s = interval_s
+        self._counters: Dict[DirectionId, DirectionCounters] = {}
+        self._previous: Dict[DirectionId, CounterSnapshot] = {}
+        self.time_s = 0.0
+
+    def _counters_for(self, direction_id: DirectionId) -> DirectionCounters:
+        if direction_id not in self._counters:
+            self._counters[direction_id] = DirectionCounters(direction_id)
+        return self._counters[direction_id]
+
+    def poll_once(self) -> float:
+        """Advance one interval, accumulate counters, store loss rates.
+
+        Returns:
+            The poll timestamp.
+        """
+        self.time_s += self.interval_s
+        now = self.time_s
+        for link in self._topo.links():
+            if not link.enabled:
+                continue  # a disabled link carries no traffic (§8 notes
+                # monitoring data stops flowing when a link is disabled)
+            for direction in (Direction.UP, Direction.DOWN):
+                did = link.direction_id(direction)
+                packets = self._packets_fn(did, now)
+                corruption = link.corruption_rate[direction]
+                congestion = self._congestion_fn(did, now)
+                counters = self._counters_for(did)
+                counters.record_interval(packets, corruption, congestion)
+                snap = counters.snapshot(now)
+                previous = self._previous.get(did)
+                if previous is not None:
+                    self._store.append_rates(
+                        did,
+                        now,
+                        corruption=snap.corruption_rate_since(previous),
+                        congestion=snap.congestion_rate_since(previous),
+                        utilization=self._utilization(did, packets),
+                    )
+                self._previous[did] = snap
+        return now
+
+    def _utilization(self, direction_id: DirectionId, packets: int) -> float:
+        """Interval utilization from offered packets vs. line rate.
+
+        Assumes 1000-byte packets against the link's nominal capacity.
+        """
+        link = self._topo.find_link(*direction_id)
+        capacity_pkts = (
+            link.capacity_gbps * 1e9 / 8.0 / 1000.0
+        ) * self.interval_s
+        if capacity_pkts <= 0:
+            return 0.0
+        return min(1.0, packets / capacity_pkts)
+
+    def run(self, num_polls: int) -> None:
+        """Run ``num_polls`` consecutive polls."""
+        for _ in range(num_polls):
+            self.poll_once()
+
+    def optical_reading(self, link_id: LinkId, conditions) -> OpticalReading:
+        """Package a fault condition as an optical poll record.
+
+        Orientation: ``LinkCondition`` side 1 is the receiver of the
+        corrupting (UP) direction, i.e. the upper switch.
+        """
+        return OpticalReading(
+            time_s=self.time_s,
+            tx_lower_dbm=conditions.tx2_dbm,
+            rx_lower_dbm=conditions.rx2_dbm,
+            tx_upper_dbm=conditions.tx1_dbm,
+            rx_upper_dbm=conditions.rx1_dbm,
+        )

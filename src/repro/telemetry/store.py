@@ -1,0 +1,92 @@
+"""In-memory telemetry store: per-direction loss-rate and utilization series.
+
+The measurement analyses (§2–3) consume exactly three aligned series per
+link direction: corruption loss rate, congestion loss rate, and utilization.
+The store accumulates appends from the poller and exposes them as
+:class:`~repro.telemetry.timeseries.TimeSeries`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.telemetry.timeseries import TimeSeries
+from repro.topology.elements import DirectionId
+
+
+class TelemetryStore:
+    """Accumulates per-direction monitoring samples.
+
+    Samples must be appended in time order per direction; the store infers
+    the sampling interval from the first two appends.
+    """
+
+    def __init__(self):
+        self._corruption: Dict[DirectionId, List[float]] = {}
+        self._congestion: Dict[DirectionId, List[float]] = {}
+        self._utilization: Dict[DirectionId, List[float]] = {}
+        self._times: Dict[DirectionId, List[float]] = {}
+
+    def append_rates(
+        self,
+        direction_id: DirectionId,
+        time_s: float,
+        corruption: float,
+        congestion: float,
+        utilization: float,
+    ) -> None:
+        """Append one poll's derived rates for a direction."""
+        times = self._times.setdefault(direction_id, [])
+        if times and time_s <= times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {time_s} after {times[-1]}"
+            )
+        times.append(time_s)
+        self._corruption.setdefault(direction_id, []).append(corruption)
+        self._congestion.setdefault(direction_id, []).append(congestion)
+        self._utilization.setdefault(direction_id, []).append(utilization)
+
+    # ------------------------------------------------------------------ #
+
+    def directions(self) -> Iterator[DirectionId]:
+        return iter(self._times.keys())
+
+    def num_directions(self) -> int:
+        return len(self._times)
+
+    def _interval(self, direction_id: DirectionId) -> float:
+        times = self._times[direction_id]
+        if len(times) >= 2:
+            return times[1] - times[0]
+        return 900.0
+
+    def corruption_series(self, direction_id: DirectionId) -> TimeSeries:
+        """Corruption loss-rate series of one direction."""
+        return TimeSeries(
+            self._corruption[direction_id],
+            interval_s=self._interval(direction_id),
+            start_s=self._times[direction_id][0] if self._times[direction_id] else 0.0,
+        )
+
+    def congestion_series(self, direction_id: DirectionId) -> TimeSeries:
+        """Congestion loss-rate series of one direction."""
+        return TimeSeries(
+            self._congestion[direction_id],
+            interval_s=self._interval(direction_id),
+            start_s=self._times[direction_id][0] if self._times[direction_id] else 0.0,
+        )
+
+    def utilization_series(self, direction_id: DirectionId) -> TimeSeries:
+        """Utilization series of one direction."""
+        return TimeSeries(
+            self._utilization[direction_id],
+            interval_s=self._interval(direction_id),
+            start_s=self._times[direction_id][0] if self._times[direction_id] else 0.0,
+        )
+
+    def mean_rates(self, direction_id: DirectionId) -> Tuple[float, float]:
+        """(mean corruption rate, mean congestion rate) for a direction."""
+        return (
+            self.corruption_series(direction_id).mean(),
+            self.congestion_series(direction_id).mean(),
+        )

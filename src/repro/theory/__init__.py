@@ -1,0 +1,41 @@
+"""Theory: the Appendix-A NP-completeness machinery.
+
+- :mod:`repro.theory.sat` — 3-SAT instances + DPLL solver;
+- :mod:`repro.theory.reduction` — the Lemma-A.1 gadget (3-SAT →
+  link-disabling on a fat-tree pod) with both directions of the
+  equivalence executable.
+"""
+
+from repro.theory.reduction import (
+    ReductionGadget,
+    assignment_from_disable_set,
+    build_gadget,
+    disable_set_from_assignment,
+    max_disable_size_bruteforce,
+    tor_connectivity_ok,
+)
+from repro.theory.sat import (
+    Clause,
+    Literal,
+    ThreeSatInstance,
+    dpll_solve,
+    is_satisfiable,
+    random_instance,
+    unsatisfiable_instance,
+)
+
+__all__ = [
+    "Clause",
+    "Literal",
+    "ReductionGadget",
+    "ThreeSatInstance",
+    "assignment_from_disable_set",
+    "build_gadget",
+    "disable_set_from_assignment",
+    "dpll_solve",
+    "is_satisfiable",
+    "max_disable_size_bruteforce",
+    "random_instance",
+    "tor_connectivity_ok",
+    "unsatisfiable_instance",
+]

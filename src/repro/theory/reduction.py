@@ -1,0 +1,176 @@
+"""The Appendix-A reduction: 3-SAT → link disabling on a fat-tree pod.
+
+Construction (Lemma A.1, Figure 21), for an instance with ``k`` clauses
+``C1..Ck`` and ``r`` variables ``x1..xr`` (``k >= r``):
+
+- ToR switches: ``C1..Ck`` (clause gadgets) and ``H1..Hk`` (helpers);
+- Agg switches: ``X1, ¬X1, ..., Xr, ¬Xr`` (one per literal);
+- enabled ToR→Agg links: each ``Ci`` connects to the aggs of its three
+  literals; ``Hj`` (j ≤ r) connects to ``Xj`` and ``¬Xj``; ``Hj`` (j > r)
+  connects to ``X1`` and ``¬X1``;
+- Agg→spine links ``L``: one per literal agg, **all corrupting with equal
+  rate**.
+
+Every ToR needs a valley-free path to the spine, so each clause needs at
+least one of its literal aggs to keep its spine link, and each helper
+forces at least one of every ``Xj / ¬Xj`` pair to stay.  Hence a disable
+set of size ``r`` (one per variable pair) exists **iff** the instance is
+satisfiable — keeping exactly the true literals connected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.theory.sat import ThreeSatInstance
+from repro.topology.elements import LinkId, Switch
+from repro.topology.graph import Topology
+
+
+@dataclass
+class ReductionGadget:
+    """The constructed pod plus bookkeeping.
+
+    Attributes:
+        topo: The gadget topology (ToRs stage 0, aggs stage 1, spines 2).
+        instance: The (padded) source 3-SAT instance.
+        corrupting_links: The set ``L`` of agg→spine links.
+        link_of_literal: Maps each literal (+i / -i) to its spine link.
+    """
+
+    topo: Topology
+    instance: ThreeSatInstance
+    corrupting_links: Set[LinkId]
+    link_of_literal: Dict[int, LinkId]
+
+    @property
+    def r(self) -> int:
+        return self.instance.num_vars
+
+    @property
+    def k(self) -> int:
+        return self.instance.num_clauses
+
+
+def _agg_name(literal: int) -> str:
+    return f"X{literal}" if literal > 0 else f"notX{-literal}"
+
+
+def build_gadget(
+    instance: ThreeSatInstance, corruption_rate: float = 1e-3
+) -> ReductionGadget:
+    """Build the Lemma-A.1 gadget for a 3-SAT instance.
+
+    Args:
+        instance: Source instance; padded so ``k >= r``.
+        corruption_rate: The common rate on every link of ``L``.
+    """
+    instance = instance.padded()
+    r, k = instance.num_vars, instance.num_clauses
+    topo = Topology(num_stages=3, name=f"sat-gadget-r{r}-k{k}")
+
+    literals = [v for i in range(1, r + 1) for v in (i, -i)]
+    for literal in literals:
+        topo.add_switch(Switch(_agg_name(literal), stage=1))
+    for index in range(1, k + 1):
+        topo.add_switch(Switch(f"C{index}", stage=0))
+        topo.add_switch(Switch(f"H{index}", stage=0))
+    for literal in literals:
+        topo.add_switch(Switch(f"spine-{_agg_name(literal)}", stage=2))
+
+    # Clause gadgets: Ci -> aggs of its literals.
+    for index, clause in enumerate(instance.clauses, start=1):
+        for literal in set(clause):
+            topo.add_link(f"C{index}", _agg_name(literal))
+    # Variable gadgets: Hj -> {Xj, notXj} (j <= r), else -> {X1, notX1}.
+    for index in range(1, k + 1):
+        variable = index if index <= r else 1
+        topo.add_link(f"H{index}", _agg_name(variable))
+        topo.add_link(f"H{index}", _agg_name(-variable))
+
+    corrupting: Set[LinkId] = set()
+    link_of_literal: Dict[int, LinkId] = {}
+    for literal in literals:
+        agg = _agg_name(literal)
+        link_id = topo.add_link(agg, f"spine-{agg}")
+        topo.set_corruption(link_id, corruption_rate)
+        corrupting.add(link_id)
+        link_of_literal[literal] = link_id
+
+    return ReductionGadget(
+        topo=topo,
+        instance=instance,
+        corrupting_links=corrupting,
+        link_of_literal=link_of_literal,
+    )
+
+
+def disable_set_from_assignment(
+    gadget: ReductionGadget, assignment: List[bool]
+) -> Set[LinkId]:
+    """The size-``r`` disable set induced by a satisfying assignment.
+
+    Keeps the spine link of every *true* literal; disables the false ones
+    ("a solution to a satisfiable 3-SAT instance tells us how to pick which
+    of the links from each Xi, ¬Xi pair should remain connected").
+    """
+    if len(assignment) != gadget.r:
+        raise ValueError("assignment length mismatch")
+    disabled = set()
+    for variable, truth in enumerate(assignment, start=1):
+        false_literal = -variable if truth else variable
+        disabled.add(gadget.link_of_literal[false_literal])
+    return disabled
+
+
+def assignment_from_disable_set(
+    gadget: ReductionGadget, disabled: Set[LinkId]
+) -> List[bool]:
+    """Recover a variable assignment from a feasible size-``r`` disable set.
+
+    Variable ``i`` is True iff ``Xi``'s spine link stays connected.
+    """
+    assignment = []
+    for variable in range(1, gadget.r + 1):
+        positive_disabled = gadget.link_of_literal[variable] in disabled
+        assignment.append(not positive_disabled)
+    return assignment
+
+
+def tor_connectivity_ok(
+    gadget: ReductionGadget, disabled: Set[LinkId]
+) -> bool:
+    """Whether every ToR keeps a spine path with ``disabled`` turned off."""
+    topo = gadget.topo
+    # An agg is connected iff its spine link survives.
+    connected_aggs = {
+        topo.link(lid).lower
+        for lid in gadget.corrupting_links
+        if lid not in disabled
+    }
+    for tor_name in topo.tors():
+        has_path = any(
+            topo.link(lid).upper in connected_aggs
+            for lid in topo.uplinks(tor_name)
+        )
+        if not has_path:
+            return False
+    return True
+
+
+def max_disable_size_bruteforce(gadget: ReductionGadget) -> Tuple[int, Set[LinkId]]:
+    """Exhaustively find the largest feasible disable subset of ``L``.
+
+    Exponential in ``2r``; fine for the reduction's test instances.
+    """
+    links = sorted(gadget.corrupting_links)
+    n = len(links)
+    best_size, best_set = 0, set()
+    for mask in range(1 << n):
+        subset = {links[i] for i in range(n) if mask >> i & 1}
+        if len(subset) <= best_size:
+            continue
+        if tor_connectivity_ok(gadget, subset):
+            best_size, best_set = len(subset), subset
+    return best_size, best_set

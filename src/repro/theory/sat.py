@@ -1,0 +1,154 @@
+"""3-SAT instances and a small DPLL solver.
+
+Appendix A reduces 3-SAT (exactly three literals per clause) to the
+link-disabling problem.  This module supplies the SAT side: instance
+representation, satisfiability checking, a DPLL solver for the small
+instances the reduction experiments use, and seeded random instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: A literal is a non-zero int: +i means variable i, -i means its negation.
+Literal = int
+Clause = Tuple[Literal, Literal, Literal]
+
+
+@dataclass(frozen=True)
+class ThreeSatInstance:
+    """A 3-SAT instance with ``num_vars`` variables (1-indexed).
+
+    The Appendix-A construction additionally requires ``k >= r`` (at least
+    as many clauses as variables); :meth:`padded` enforces it by duplicating
+    a clause, which does not change satisfiability.
+    """
+
+    num_vars: int
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self):
+        for clause in self.clauses:
+            if len(clause) != 3:
+                raise ValueError(f"clause {clause} must have 3 literals")
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.num_vars:
+                    raise ValueError(
+                        f"literal {literal} out of range for "
+                        f"{self.num_vars} variables"
+                    )
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def is_satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        """Whether ``assignment`` (index 0 = variable 1) satisfies all
+        clauses."""
+        if len(assignment) != self.num_vars:
+            raise ValueError("assignment length mismatch")
+
+        def value(literal: Literal) -> bool:
+            truth = assignment[abs(literal) - 1]
+            return truth if literal > 0 else not truth
+
+        return all(any(value(lit) for lit in clause) for clause in self.clauses)
+
+    def padded(self) -> "ThreeSatInstance":
+        """Ensure ``num_clauses >= num_vars`` by duplicating the first
+        clause (satisfiability-preserving)."""
+        clauses = list(self.clauses)
+        while len(clauses) < self.num_vars:
+            clauses.append(clauses[0])
+        return ThreeSatInstance(self.num_vars, tuple(clauses))
+
+
+def dpll_solve(instance: ThreeSatInstance) -> Optional[List[bool]]:
+    """DPLL with unit propagation; returns a satisfying assignment or None."""
+
+    def propagate(
+        clauses: List[List[Literal]], assignment: Dict[int, bool]
+    ) -> Optional[List[List[Literal]]]:
+        changed = True
+        while changed:
+            changed = False
+            next_clauses: List[List[Literal]] = []
+            for clause in clauses:
+                resolved = False
+                remaining: List[Literal] = []
+                for literal in clause:
+                    var = abs(literal)
+                    if var in assignment:
+                        if (literal > 0) == assignment[var]:
+                            resolved = True
+                            break
+                    else:
+                        remaining.append(literal)
+                if resolved:
+                    continue
+                if not remaining:
+                    return None  # conflict
+                if len(remaining) == 1:
+                    literal = remaining[0]
+                    assignment[abs(literal)] = literal > 0
+                    changed = True
+                else:
+                    next_clauses.append(remaining)
+            clauses = next_clauses
+        return clauses
+
+    def search(
+        clauses: List[List[Literal]], assignment: Dict[int, bool]
+    ) -> Optional[Dict[int, bool]]:
+        clauses = propagate([list(c) for c in clauses], assignment)
+        if clauses is None:
+            return None
+        if not clauses:
+            return assignment
+        variable = abs(clauses[0][0])
+        for choice in (True, False):
+            trial = dict(assignment)
+            trial[variable] = choice
+            result = search(clauses, trial)
+            if result is not None:
+                return result
+        return None
+
+    result = search([list(c) for c in instance.clauses], {})
+    if result is None:
+        return None
+    return [result.get(v, False) for v in range(1, instance.num_vars + 1)]
+
+
+def is_satisfiable(instance: ThreeSatInstance) -> bool:
+    """Satisfiability via :func:`dpll_solve`."""
+    return dpll_solve(instance) is not None
+
+
+def random_instance(
+    num_vars: int, num_clauses: int, seed: int = 0
+) -> ThreeSatInstance:
+    """A uniformly random 3-SAT instance (distinct variables per clause)."""
+    if num_vars < 3:
+        raise ValueError("need at least 3 variables for 3-distinct literals")
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clause = tuple(
+            v if rng.random() < 0.5 else -v for v in variables
+        )
+        clauses.append(clause)
+    return ThreeSatInstance(num_vars, tuple(clauses))
+
+
+def unsatisfiable_instance() -> ThreeSatInstance:
+    """A small canonical UNSAT instance (all 8 sign patterns on 3 vars)."""
+    clauses = []
+    for s1 in (1, -1):
+        for s2 in (1, -1):
+            for s3 in (1, -1):
+                clauses.append((s1 * 1, s2 * 2, s3 * 3))
+    return ThreeSatInstance(3, tuple(clauses))

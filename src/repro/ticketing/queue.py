@@ -1,0 +1,108 @@
+"""The FIFO ticket queue and service-time models.
+
+§5.2: "Generated tickets are placed in a FIFO queue ... on average, it
+takes two days for technicians to resolve a ticket; this means, each failed
+repair attempt adds two more days during which the link must be disabled."
+
+Two service models are provided:
+
+- :class:`FixedDelayQueue` — every ticket completes service a fixed time
+  after creation (the model §7.1's simulations use);
+- :class:`TechnicianPoolQueue` — ``k`` technicians each work one ticket at
+  a time (an extension that makes queueing delay grow with backlog).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.ticketing.ticket import Ticket, TicketStatus
+
+TWO_DAYS_S = 2 * 86_400.0
+
+
+class FixedDelayQueue:
+    """Tickets complete service ``service_time_s`` after submission.
+
+    This matches the paper's simulation simplification: "Links stay in that
+    queue for two days, the average service time in our DCNs."
+    """
+
+    def __init__(self, service_time_s: float = TWO_DAYS_S):
+        if service_time_s < 0:
+            raise ValueError("service time cannot be negative")
+        self.service_time_s = service_time_s
+        self._heap: List[Tuple[float, int, Ticket]] = []
+
+    def submit(self, ticket: Ticket, now_s: float) -> float:
+        """Enqueue a ticket; returns its service-completion time."""
+        done_s = now_s + self.service_time_s
+        heapq.heappush(self._heap, (done_s, ticket.ticket_id, ticket))
+        ticket.status = TicketStatus.IN_SERVICE
+        return done_s
+
+    def pop_due(self, now_s: float) -> List[Ticket]:
+        """Tickets whose service completes at or before ``now_s``."""
+        due = []
+        while self._heap and self._heap[0][0] <= now_s:
+            due.append(heapq.heappop(self._heap)[2])
+        return due
+
+    def next_completion(self) -> Optional[float]:
+        """Timestamp of the next completion, or None when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class TechnicianPoolQueue:
+    """A FIFO queue drained by ``k`` technicians (extension).
+
+    Each ticket occupies one technician for ``service_time_s``; waiting
+    time therefore grows with backlog, as the paper observes in production
+    ("the exact time needed for a fix depends on the number of tickets in
+    the queue").
+    """
+
+    def __init__(self, num_technicians: int = 4, service_time_s: float = TWO_DAYS_S):
+        if num_technicians < 1:
+            raise ValueError("need at least one technician")
+        self.num_technicians = num_technicians
+        self.service_time_s = service_time_s
+        self._waiting: deque = deque()
+        self._in_service: List[Tuple[float, int, Ticket]] = []
+
+    def submit(self, ticket: Ticket, now_s: float) -> None:
+        """Enqueue a ticket (it starts service when a technician frees up)."""
+        self._waiting.append(ticket)
+        self._dispatch(now_s)
+
+    def _dispatch(self, now_s: float) -> None:
+        while self._waiting and len(self._in_service) < self.num_technicians:
+            ticket = self._waiting.popleft()
+            ticket.status = TicketStatus.IN_SERVICE
+            heapq.heappush(
+                self._in_service,
+                (now_s + self.service_time_s, ticket.ticket_id, ticket),
+            )
+
+    def pop_due(self, now_s: float) -> List[Ticket]:
+        """Tickets finishing service by ``now_s`` (frees technicians)."""
+        due = []
+        while self._in_service and self._in_service[0][0] <= now_s:
+            due.append(heapq.heappop(self._in_service)[2])
+        self._dispatch(now_s)
+        return due
+
+    def next_completion(self) -> Optional[float]:
+        return self._in_service[0][0] if self._in_service else None
+
+    def backlog(self) -> int:
+        """Tickets waiting for a technician."""
+        return len(self._waiting)
+
+    def __len__(self) -> int:
+        return len(self._waiting) + len(self._in_service)

@@ -1,0 +1,151 @@
+"""Technician models: who actually performs the repair.
+
+§5.2 contrasts two worlds:
+
+- **Legacy**: technicians diagnose manually ("inspect the transceiver and
+  the fiber to find tight bends or damage ... If they cannot find any
+  problem visually, they may choose to clean the connector"), yielding
+  ~50% first-attempt success;
+- **CorrOpt**: technicians follow the ticket's recommendation, yielding
+  ~80% — except that in the early deployment "30% of the time, technicians
+  were ignoring the recommendations", dragging the observed rate to 58%.
+
+The legacy model is mechanistic: the technician physically inspects the
+ground-truth fault and notices visually apparent causes with calibrated
+probabilities; otherwise they fall back to the standard action sequence
+(clean → reseat → replace transceiver → replace cable).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.recommendation import RepairAction
+from repro.faults.root_causes import RootCause
+from repro.ticketing.ticket import Ticket
+
+#: Legacy visual-inspection detection probabilities (calibrated so the
+#: aggregate legacy first-attempt success lands at the paper's ~50%).
+VISUAL_DETECTS_BENT_FIBER = 0.5
+VISUAL_DETECTS_LOOSE_TRANSCEIVER = 0.6
+VISUAL_DETECTS_SHARED_PATTERN = 0.15
+
+#: Cleaning occasionally fails to remove stubborn contamination (scratches,
+#: pits — §4: "airborne dirt particles may even scratch the connectors
+#: permanently").
+CLEANING_SUCCESS_ON_CONTAMINATION = 0.85
+
+#: The legacy escalation ladder when nothing is visually wrong.
+LEGACY_SEQUENCE = [
+    RepairAction.CLEAN_FIBER,
+    RepairAction.RESEAT_TRANSCEIVER,
+    RepairAction.REPLACE_TRANSCEIVER,
+    RepairAction.REPLACE_CABLE,
+]
+
+
+@dataclass
+class AttemptResult:
+    """What a technician did on one visit."""
+
+    action: RepairAction
+    followed_recommendation: bool
+    success: bool
+
+
+class LegacyTechnician:
+    """Root-cause-agnostic repair (the pre-CorrOpt state of the art)."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def choose_action(self, ticket: Ticket) -> RepairAction:
+        """Pick an action via visual inspection, else the escalation ladder."""
+        fault = ticket.fault
+        rng = self._rng
+        if fault is not None and ticket.num_attempts == 0:
+            cause = fault.cause
+            if (
+                cause is RootCause.DAMAGED_FIBER
+                and rng.random() < VISUAL_DETECTS_BENT_FIBER
+            ):
+                return RepairAction.REPLACE_CABLE
+            if (
+                cause is RootCause.BAD_OR_LOOSE_TRANSCEIVER
+                and getattr(fault, "loose", False)
+                and rng.random() < VISUAL_DETECTS_LOOSE_TRANSCEIVER
+            ):
+                return RepairAction.RESEAT_TRANSCEIVER
+            if (
+                cause is RootCause.SHARED_COMPONENT
+                and rng.random() < VISUAL_DETECTS_SHARED_PATTERN
+            ):
+                return RepairAction.REPLACE_SHARED_COMPONENT
+        index = min(ticket.num_attempts, len(LEGACY_SEQUENCE) - 1)
+        return LEGACY_SEQUENCE[index]
+
+    def attempt(self, ticket: Ticket) -> AttemptResult:
+        """Perform one repair attempt on the ticket's fault."""
+        action = self.choose_action(ticket)
+        success = self._adjudicate(ticket, action)
+        return AttemptResult(
+            action=action, followed_recommendation=False, success=success
+        )
+
+    def _adjudicate(self, ticket: Ticket, action: RepairAction) -> bool:
+        fault = ticket.fault
+        if fault is None:
+            return False
+        success = fault.fixed_by(action)
+        if (
+            success
+            and action is RepairAction.CLEAN_FIBER
+            and fault.cause is RootCause.CONNECTOR_CONTAMINATION
+        ):
+            success = self._rng.random() < CLEANING_SUCCESS_ON_CONTAMINATION
+        return success
+
+
+class RecommendationFollowingTechnician(LegacyTechnician):
+    """A technician working CorrOpt tickets.
+
+    Args:
+        compliance: Probability of following the ticket's recommendation;
+            §7.2 observed ~70% in the early deployment.  Non-compliant
+            visits fall back to legacy behaviour.
+        seed: RNG seed.
+    """
+
+    def __init__(self, compliance: float = 1.0, seed: int = 0):
+        super().__init__(seed=seed)
+        if not 0.0 <= compliance <= 1.0:
+            raise ValueError(f"compliance {compliance} outside [0, 1]")
+        self.compliance = compliance
+
+    def attempt(
+        self, ticket: Ticket, recommendation_action: Optional[RepairAction] = None
+    ) -> AttemptResult:
+        """One visit: follow the recommendation with prob. ``compliance``.
+
+        Args:
+            ticket: The ticket (recommendation read from it by default).
+            recommendation_action: Override for re-issued recommendations
+                on later attempts (Algorithm 1 consults repair history).
+        """
+        action = recommendation_action
+        if action is None and ticket.recommendation is not None:
+            action = ticket.recommendation.action
+        if action is not None and self._rng.random() < self.compliance:
+            return AttemptResult(
+                action=action,
+                followed_recommendation=True,
+                success=self._adjudicate(ticket, action),
+            )
+        legacy = super().attempt(ticket)
+        return AttemptResult(
+            action=legacy.action,
+            followed_recommendation=False,
+            success=legacy.success,
+        )

@@ -1,0 +1,88 @@
+"""Maintenance tickets.
+
+Each disabled link gets a ticket for manual repair (§5.1: "CorrOpt disables
+l and creates a maintenance ticket for it with a recommended repair").
+Tickets carry the recommendation, the attempt history (Figure 12 shows a
+link cycling through repeated failed repairs), and — in simulation — the
+ground-truth fault used to adjudicate repair attempts.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.recommendation import Recommendation, RepairAction
+from repro.topology.elements import LinkId
+
+_ticket_ids = itertools.count(1)
+
+
+class TicketStatus(enum.Enum):
+    """Lifecycle of a ticket."""
+
+    OPEN = "open"
+    IN_SERVICE = "in service"
+    RESOLVED = "resolved"
+
+
+@dataclass
+class RepairAttempt:
+    """One technician visit: what was done and whether it worked."""
+
+    time_s: float
+    action: RepairAction
+    followed_recommendation: bool
+    success: bool
+
+
+@dataclass
+class Ticket:
+    """A repair ticket for one disabled link.
+
+    Attributes:
+        ticket_id: Monotonic id (FIFO order).
+        link_id: The corrupting link.
+        created_s: Creation time.
+        recommendation: CorrOpt's suggested repair (None for the legacy
+            process, which issues tickets without guidance).
+        fault: Ground-truth fault (simulation only; hidden from policies
+            except through physical-inspection models).
+        attempts: Repair attempts so far, oldest first.
+        status: Lifecycle state.
+    """
+
+    link_id: LinkId
+    created_s: float
+    recommendation: Optional[Recommendation] = None
+    fault: Optional[object] = None
+    attempts: List[RepairAttempt] = field(default_factory=list)
+    status: TicketStatus = TicketStatus.OPEN
+    ticket_id: int = field(default_factory=lambda: next(_ticket_ids))
+
+    @property
+    def num_attempts(self) -> int:
+        return len(self.attempts)
+
+    def recently_reseated(self) -> bool:
+        """Whether a reseat was tried in the attempt history.
+
+        Algorithm 1 (lines 17–20) consults exactly this bit to escalate
+        from reseating to replacing a transceiver.
+        """
+        return any(
+            attempt.action is RepairAction.RESEAT_TRANSCEIVER
+            for attempt in self.attempts
+        )
+
+    def record_attempt(self, attempt: RepairAttempt) -> None:
+        """Append an attempt; resolves the ticket on success."""
+        self.attempts.append(attempt)
+        if attempt.success:
+            self.status = TicketStatus.RESOLVED
+
+    def first_attempt_succeeded(self) -> bool:
+        """§7.2's accuracy metric: was the link fixed on the first visit?"""
+        return bool(self.attempts) and self.attempts[0].success

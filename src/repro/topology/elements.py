@@ -1,0 +1,170 @@
+"""Basic elements of a staged data center network topology.
+
+The paper studies multi-tier Clos networks (§5): switches are arranged in
+*stages*, with stage 0 being the top-of-rack (ToR) layer and the highest
+stage being the *spine*.  Every inter-switch link connects a switch at some
+stage ``s`` to a switch at stage ``s + 1``; valley-free routing goes up from
+a ToR to the spine and back down.
+
+Links are physically bidirectional but corruption is *asymmetric* (§3): the
+two directions of a link corrupt independently, and mitigation disables both
+directions together because "current hardware and software does not allow
+unidirectional links" (§3, footnote 3).  We therefore model a link as one
+object with two :class:`Direction` channels.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Canonical identifier of a link: ``(lower_switch_name, upper_switch_name)``
+#: where *lower* is the endpoint at the smaller stage number.
+LinkId = Tuple[str, str]
+
+#: Identifier of one direction of a link: ``(src_switch, dst_switch)``.
+DirectionId = Tuple[str, str]
+
+
+class Direction(enum.Enum):
+    """One of the two directions of a physical link.
+
+    ``UP`` carries traffic from the lower-stage switch toward the spine;
+    ``DOWN`` carries traffic toward the ToRs.
+    """
+
+    UP = "up"
+    DOWN = "down"
+
+    def reverse(self) -> "Direction":
+        """Return the opposite direction."""
+        return Direction.DOWN if self is Direction.UP else Direction.UP
+
+
+class LinkState(enum.Enum):
+    """Administrative state of a link.
+
+    ``ENABLED``  — carrying traffic.
+    ``DISABLED`` — turned off by the mitigation system, awaiting repair.
+    ``DRAINED``  — §8 extension: traffic removed (high routing cost) but the
+    link stays up so optical monitoring continues and test traffic can verify
+    a repair.
+    """
+
+    ENABLED = "enabled"
+    DISABLED = "disabled"
+    DRAINED = "drained"
+
+
+@dataclass
+class Switch:
+    """A switch in the DCN.
+
+    Attributes:
+        name: Globally unique switch name (e.g. ``"pod0/agg2"``).
+        stage: Stage index; 0 is the ToR layer, the maximum is the spine.
+        pod: Optional pod label for pod-structured topologies.
+        deep_buffer: Whether the switch has deep buffers.  §3 notes stages
+            built from deep-buffer switches see far fewer congestion losses;
+            the congestion substrate honours this flag.
+        num_ports: Optional port-count bound used by validation.
+    """
+
+    name: str
+    stage: int
+    pod: Optional[str] = None
+    deep_buffer: bool = False
+    num_ports: Optional[int] = None
+
+    def is_tor(self) -> bool:
+        """Whether this switch is a top-of-rack switch (stage 0)."""
+        return self.stage == 0
+
+
+@dataclass
+class Link:
+    """A physical, optical switch-to-switch link.
+
+    The canonical identity orders the endpoints by stage:
+    ``lower`` is at stage ``s``, ``upper`` at stage ``s + 1``.
+
+    Attributes:
+        lower: Name of the lower-stage endpoint.
+        upper: Name of the upper-stage endpoint.
+        state: Administrative state (see :class:`LinkState`).
+        capacity_gbps: Nominal speed, used by the congestion substrate.
+        breakout_group: Optional identifier of the breakout cable this link
+            belongs to (§4, root cause 5: a faulty breakout cable corrupts
+            all of its member links together).
+        corruption_rate: Per-direction corruption loss rate, keyed by
+            :class:`Direction`.  Zero when the direction is healthy.  §3:
+            corruption is stable over time, so a scalar per direction is the
+            natural representation; time variation comes from the fault and
+            telemetry layers.
+    """
+
+    lower: str
+    upper: str
+    state: LinkState = LinkState.ENABLED
+    capacity_gbps: float = 40.0
+    breakout_group: Optional[str] = None
+    corruption_rate: Dict[Direction, float] = field(
+        default_factory=lambda: {Direction.UP: 0.0, Direction.DOWN: 0.0}
+    )
+
+    @property
+    def link_id(self) -> LinkId:
+        """Canonical ``(lower, upper)`` identifier."""
+        return (self.lower, self.upper)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the link carries regular traffic."""
+        return self.state is LinkState.ENABLED
+
+    def max_corruption_rate(self) -> float:
+        """Worst corruption rate across the two directions.
+
+        Mitigation decisions key off the worse direction because disabling
+        is all-or-nothing (§3 footnote 3).
+        """
+        return max(self.corruption_rate.values())
+
+    def is_corrupting(self, threshold: float = 1e-8) -> bool:
+        """Whether either direction corrupts above ``threshold``.
+
+        The paper conservatively deems a link lossy at loss rate 1e-8
+        (§3, footnote 2: the IEEE 802.3 floor), while operators typically
+        act around 1e-6.
+        """
+        return self.max_corruption_rate() >= threshold
+
+    def direction_id(self, direction: Direction) -> DirectionId:
+        """The ``(src, dst)`` pair for ``direction``."""
+        if direction is Direction.UP:
+            return (self.lower, self.upper)
+        return (self.upper, self.lower)
+
+
+def canonical_link_id(a: str, b: str, stage_of: Dict[str, int]) -> LinkId:
+    """Order endpoints ``a``/``b`` into a canonical :data:`LinkId`.
+
+    Args:
+        a: One endpoint name.
+        b: The other endpoint name.
+        stage_of: Mapping from switch name to stage index.
+
+    Returns:
+        ``(lower, upper)`` with ``stage(lower) + 1 == stage(upper)``.
+
+    Raises:
+        ValueError: If the endpoints are not at adjacent stages.
+    """
+    sa, sb = stage_of[a], stage_of[b]
+    if abs(sa - sb) != 1:
+        raise ValueError(
+            f"link {a!r} (stage {sa}) -- {b!r} (stage {sb}) does not connect "
+            "adjacent stages; Clos links must span exactly one stage"
+        )
+    return (a, b) if sa < sb else (b, a)

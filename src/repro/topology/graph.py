@@ -1,0 +1,357 @@
+"""The :class:`Topology` container: a staged multi-tier DCN graph.
+
+This is the substrate every CorrOpt algorithm operates on.  It keeps
+
+- switches grouped by stage (stage 0 = ToR, highest stage = spine),
+- links in canonical ``(lower, upper)`` form,
+- uplink/downlink adjacency for O(1) neighborhood queries, and
+- administrative link state (enabled / disabled / drained).
+
+The class deliberately exposes *sets of disabled links* rather than mutating
+structure, so the optimizer can evaluate hypothetical disable-sets cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.topology.elements import (
+    Direction,
+    Link,
+    LinkId,
+    LinkState,
+    Switch,
+    canonical_link_id,
+)
+
+
+class Topology:
+    """A staged, multi-tier data center network.
+
+    Example:
+        >>> topo = Topology(num_stages=3)
+        >>> topo.add_switch(Switch("t0", stage=0))
+        >>> topo.add_switch(Switch("a0", stage=1))
+        >>> topo.add_switch(Switch("s0", stage=2))
+        >>> topo.add_link("t0", "a0")
+        ('t0', 'a0')
+        >>> topo.add_link("a0", "s0")
+        ('a0', 's0')
+        >>> topo.num_links
+        2
+    """
+
+    def __init__(self, num_stages: int, name: str = "dcn"):
+        if num_stages < 2:
+            raise ValueError("a DCN needs at least a ToR stage and a spine stage")
+        self.name = name
+        self.num_stages = num_stages
+        self._switches: Dict[str, Switch] = {}
+        self._links: Dict[LinkId, Link] = {}
+        self._stages: List[List[str]] = [[] for _ in range(num_stages)]
+        self._uplinks: Dict[str, List[LinkId]] = {}
+        self._downlinks: Dict[str, List[LinkId]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_switch(self, switch: Switch) -> None:
+        """Add a switch; its stage must fit within ``num_stages``."""
+        if switch.name in self._switches:
+            raise ValueError(f"duplicate switch {switch.name!r}")
+        if not 0 <= switch.stage < self.num_stages:
+            raise ValueError(
+                f"switch {switch.name!r} stage {switch.stage} outside "
+                f"[0, {self.num_stages})"
+            )
+        self._switches[switch.name] = switch
+        self._stages[switch.stage].append(switch.name)
+        self._uplinks[switch.name] = []
+        self._downlinks[switch.name] = []
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        capacity_gbps: float = 40.0,
+        breakout_group: Optional[str] = None,
+    ) -> LinkId:
+        """Add a link between switches at adjacent stages.
+
+        Returns:
+            The canonical :data:`LinkId`.
+        """
+        stage_of = {a: self._switches[a].stage, b: self._switches[b].stage}
+        link_id = canonical_link_id(a, b, stage_of)
+        if link_id in self._links:
+            raise ValueError(f"duplicate link {link_id}")
+        lower, upper = link_id
+        link = Link(
+            lower=lower,
+            upper=upper,
+            capacity_gbps=capacity_gbps,
+            breakout_group=breakout_group,
+        )
+        self._links[link_id] = link
+        self._uplinks[lower].append(link_id)
+        self._downlinks[upper].append(link_id)
+        return link_id
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_switches(self) -> int:
+        return len(self._switches)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def switch(self, name: str) -> Switch:
+        """Look up a switch by name."""
+        return self._switches[name]
+
+    def has_switch(self, name: str) -> bool:
+        return name in self._switches
+
+    def link(self, link_id: LinkId) -> Link:
+        """Look up a link by its canonical id."""
+        return self._links[link_id]
+
+    def has_link(self, link_id: LinkId) -> bool:
+        return link_id in self._links
+
+    def find_link(self, a: str, b: str) -> Link:
+        """Look up a link by its endpoints in either order."""
+        if (a, b) in self._links:
+            return self._links[(a, b)]
+        return self._links[(b, a)]
+
+    def switches(self) -> Iterator[Switch]:
+        """Iterate over all switches."""
+        return iter(self._switches.values())
+
+    def links(self) -> Iterator[Link]:
+        """Iterate over all links."""
+        return iter(self._links.values())
+
+    def link_ids(self) -> Iterator[LinkId]:
+        return iter(self._links.keys())
+
+    def stage(self, index: int) -> List[str]:
+        """Names of switches at stage ``index``."""
+        return list(self._stages[index])
+
+    def tors(self) -> List[str]:
+        """Names of all top-of-rack switches (stage 0)."""
+        return list(self._stages[0])
+
+    def spines(self) -> List[str]:
+        """Names of all spine switches (highest stage)."""
+        return list(self._stages[-1])
+
+    def uplinks(self, switch: str) -> List[LinkId]:
+        """Link ids whose lower endpoint is ``switch``."""
+        return list(self._uplinks[switch])
+
+    def downlinks(self, switch: str) -> List[LinkId]:
+        """Link ids whose upper endpoint is ``switch``."""
+        return list(self._downlinks[switch])
+
+    def enabled_uplinks(self, switch: str) -> List[LinkId]:
+        """Enabled uplink ids of ``switch``."""
+        return [lid for lid in self._uplinks[switch] if self._links[lid].enabled]
+
+    def switch_links(self, switch: str) -> List[LinkId]:
+        """All link ids (up and down) attached to ``switch``."""
+        return self._uplinks[switch] + self._downlinks[switch]
+
+    def tiers_above_tor(self) -> int:
+        """Number of link tiers between the ToR stage and the spine.
+
+        This is the ``r`` of §5.1: a switch-local checker needs to keep
+        ``c ** (1 / r)`` of each switch's uplinks alive to guarantee a
+        ToR-to-spine path fraction of ``c``.
+        """
+        return self.num_stages - 1
+
+    # ------------------------------------------------------------------ #
+    # Administrative state
+    # ------------------------------------------------------------------ #
+
+    def disable_link(self, link_id: LinkId) -> None:
+        """Administratively disable a link (both directions; §3 fn. 3)."""
+        self._links[link_id].state = LinkState.DISABLED
+
+    def enable_link(self, link_id: LinkId) -> None:
+        """Re-enable a link after repair."""
+        self._links[link_id].state = LinkState.ENABLED
+
+    def drain_link(self, link_id: LinkId) -> None:
+        """§8 extension: remove traffic without turning the link off."""
+        self._links[link_id].state = LinkState.DRAINED
+
+    def disabled_links(self) -> Set[LinkId]:
+        """Ids of links not currently carrying traffic."""
+        return {
+            lid for lid, link in self._links.items() if not link.enabled
+        }
+
+    def corrupting_links(self, threshold: float = 1e-8) -> List[LinkId]:
+        """Ids of *enabled* links corrupting above ``threshold``.
+
+        These are the candidates the fast checker and optimizer reason
+        about: disabled links are already mitigated.
+        """
+        return [
+            lid
+            for lid, link in self._links.items()
+            if link.enabled and link.is_corrupting(threshold)
+        ]
+
+    def set_corruption(
+        self, link_id: LinkId, rate: float, direction: Direction = Direction.UP
+    ) -> None:
+        """Set the corruption loss rate of one direction of a link."""
+        if rate < 0 or rate > 1:
+            raise ValueError(f"corruption rate {rate} outside [0, 1]")
+        self._links[link_id].corruption_rate[direction] = rate
+
+    def clear_corruption(self, link_id: LinkId) -> None:
+        """Mark both directions of a link healthy (post-repair)."""
+        link = self._links[link_id]
+        link.corruption_rate[Direction.UP] = 0.0
+        link.corruption_rate[Direction.DOWN] = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+
+    def downstream_switches(
+        self, switch: str, disabled: Optional[Set[LinkId]] = None
+    ) -> Set[str]:
+        """All switches reachable going *down* from ``switch`` (inclusive).
+
+        Args:
+            switch: Starting switch.
+            disabled: Extra links to treat as disabled during traversal, on
+                top of administratively disabled ones.
+
+        Used by the fast checker to find the ToRs whose path counts a
+        hypothetical disable could affect.  Traversal crosses only enabled
+        links: a ToR below a disabled link is unaffected by changes above it
+        through that link.
+        """
+        disabled = disabled or set()
+        seen = {switch}
+        frontier = [switch]
+        while frontier:
+            current = frontier.pop()
+            for lid in self._downlinks[current]:
+                if lid in disabled or not self._links[lid].enabled:
+                    continue
+                below = self._links[lid].lower
+                if below not in seen:
+                    seen.add(below)
+                    frontier.append(below)
+        return seen
+
+    def downstream_tors(
+        self, switch: str, disabled: Optional[Set[LinkId]] = None
+    ) -> Set[str]:
+        """ToRs reachable going down from ``switch`` over enabled links."""
+        return {
+            name
+            for name in self.downstream_switches(switch, disabled)
+            if self._switches[name].stage == 0
+        }
+
+    def upstream_links(self, tors: Iterable[str]) -> Set[LinkId]:
+        """All links on any up-path from the given ToRs to the spine.
+
+        This is the "upstream of V" set of the optimizer's pruning step
+        (§5.1, Figure 11): only disabling links in this set can affect the
+        path counts of the ToRs in ``tors``.  Traversal ignores
+        administrative state so that pruning stays valid regardless of what
+        is currently disabled.
+        """
+        links: Set[LinkId] = set()
+        seen: Set[str] = set()
+        frontier = list(dict.fromkeys(tors))
+        seen.update(frontier)
+        while frontier:
+            current = frontier.pop()
+            for lid in self._uplinks[current]:
+                links.add(lid)
+                above = self._links[lid].upper
+                if above not in seen:
+                    seen.add(above)
+                    frontier.append(above)
+        return links
+
+    def breakout_members(self, group: str) -> List[LinkId]:
+        """Link ids belonging to breakout-cable ``group``."""
+        return [
+            lid
+            for lid, link in self._links.items()
+            if link.breakout_group == group
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Interop
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` (enabled links only).
+
+        Node attribute ``stage`` and edge attribute ``corruption`` are set,
+        which is convenient for ad-hoc analysis and plotting.
+        """
+        import networkx as nx
+
+        graph = nx.Graph(name=self.name)
+        for switch in self._switches.values():
+            graph.add_node(switch.name, stage=switch.stage, pod=switch.pod)
+        for link in self._links.values():
+            if link.enabled:
+                graph.add_edge(
+                    link.lower,
+                    link.upper,
+                    corruption=link.max_corruption_rate(),
+                    capacity=link.capacity_gbps,
+                )
+        return graph
+
+    def copy(self) -> "Topology":
+        """Deep copy (administrative state and corruption included)."""
+        clone = Topology(self.num_stages, name=self.name)
+        for switch in self._switches.values():
+            clone.add_switch(
+                Switch(
+                    name=switch.name,
+                    stage=switch.stage,
+                    pod=switch.pod,
+                    deep_buffer=switch.deep_buffer,
+                    num_ports=switch.num_ports,
+                )
+            )
+        for link in self._links.values():
+            clone.add_link(
+                link.lower,
+                link.upper,
+                capacity_gbps=link.capacity_gbps,
+                breakout_group=link.breakout_group,
+            )
+            new = clone.link(link.link_id)
+            new.state = link.state
+            new.corruption_rate = dict(link.corruption_rate)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology({self.name!r}, stages={self.num_stages}, "
+            f"switches={self.num_switches}, links={self.num_links})"
+        )

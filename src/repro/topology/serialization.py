@@ -1,0 +1,89 @@
+"""JSON (de)serialization of topologies.
+
+Operators exchange topology snapshots between the monitoring system and the
+CorrOpt controller (Figure 13); a stable, human-inspectable JSON format
+makes traces and simulation scenarios reproducible artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.topology.elements import Direction, LinkState, Switch
+from repro.topology.graph import Topology
+
+FORMAT_VERSION = 1
+
+
+def topology_to_dict(topo: Topology) -> Dict[str, Any]:
+    """Serialize a topology (including state and corruption) to a dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": topo.name,
+        "num_stages": topo.num_stages,
+        "switches": [
+            {
+                "name": sw.name,
+                "stage": sw.stage,
+                "pod": sw.pod,
+                "deep_buffer": sw.deep_buffer,
+            }
+            for sw in topo.switches()
+        ],
+        "links": [
+            {
+                "lower": link.lower,
+                "upper": link.upper,
+                "state": link.state.value,
+                "capacity_gbps": link.capacity_gbps,
+                "breakout_group": link.breakout_group,
+                "corruption_up": link.corruption_rate[Direction.UP],
+                "corruption_down": link.corruption_rate[Direction.DOWN],
+            }
+            for link in topo.links()
+        ],
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported topology format version {data.get('version')!r}"
+        )
+    topo = Topology(num_stages=data["num_stages"], name=data["name"])
+    for sw in data["switches"]:
+        topo.add_switch(
+            Switch(
+                name=sw["name"],
+                stage=sw["stage"],
+                pod=sw.get("pod"),
+                deep_buffer=sw.get("deep_buffer", False),
+            )
+        )
+    for entry in data["links"]:
+        lid = topo.add_link(
+            entry["lower"],
+            entry["upper"],
+            capacity_gbps=entry.get("capacity_gbps", 40.0),
+            breakout_group=entry.get("breakout_group"),
+        )
+        link = topo.link(lid)
+        link.state = LinkState(entry.get("state", "enabled"))
+        link.corruption_rate[Direction.UP] = entry.get("corruption_up", 0.0)
+        link.corruption_rate[Direction.DOWN] = entry.get("corruption_down", 0.0)
+    return topo
+
+
+def save_topology(topo: Topology, path: Union[str, Path]) -> None:
+    """Write a topology to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(topology_to_dict(topo), handle, indent=1)
+
+
+def load_topology(path: Union[str, Path]) -> Topology:
+    """Read a topology from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return topology_from_dict(json.load(handle))

@@ -1,0 +1,68 @@
+"""Structural validation of staged topologies.
+
+CorrOpt's path-counting DP assumes a well-formed staged Clos: links only
+between adjacent stages (guaranteed by construction), every non-spine switch
+has at least one uplink, and every ToR can reach the spine.  Validation
+failures raise :class:`TopologyError` with an explanatory message.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.topology.graph import Topology
+
+
+class TopologyError(ValueError):
+    """A topology violates the structural assumptions of the algorithms."""
+
+
+def validate(topo: Topology) -> None:
+    """Validate structural invariants; raise :class:`TopologyError` if broken.
+
+    Checks:
+        - every stage is non-empty;
+        - every non-spine switch has at least one uplink (else it could
+          never reach the spine even with all links healthy);
+        - every ToR reaches the spine over enabled links.
+    """
+    problems: List[str] = []
+    for stage in range(topo.num_stages):
+        if not topo.stage(stage):
+            problems.append(f"stage {stage} has no switches")
+
+    for switch in topo.switches():
+        if switch.stage < topo.num_stages - 1 and not topo.uplinks(switch.name):
+            problems.append(f"switch {switch.name!r} has no uplinks")
+
+    if not problems:
+        for tor in topo.tors():
+            if not _reaches_spine(topo, tor):
+                problems.append(
+                    f"ToR {tor!r} cannot reach the spine over enabled links"
+                )
+
+    if problems:
+        raise TopologyError("; ".join(problems))
+
+
+def _reaches_spine(topo: Topology, tor: str) -> bool:
+    """Whether ``tor`` has at least one enabled up-path to the spine."""
+    top = topo.num_stages - 1
+    frontier = [tor]
+    seen = {tor}
+    while frontier:
+        current = frontier.pop()
+        if topo.switch(current).stage == top:
+            return True
+        for lid in topo.enabled_uplinks(current):
+            upper = topo.link(lid).upper
+            if upper not in seen:
+                seen.add(upper)
+                frontier.append(upper)
+    return False
+
+
+def is_connected_to_spine(topo: Topology, tor: str) -> bool:
+    """Public wrapper: does ``tor`` have an enabled valley-free spine path?"""
+    return _reaches_spine(topo, tor)

@@ -1,0 +1,105 @@
+"""Profiles of the paper's data centers.
+
+§2 studies 15 production DCNs with 4K–50K links each (350K total); §7.1
+simulates a medium DCN with O(15K) links and a large one with O(35K).
+Profiles are parametric Clos shapes that hit those sizes, plus ``scale``
+factors to produce shape-preserving miniatures for fast tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.topology.clos import build_clos
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class DCNProfile:
+    """A parametric data center shape.
+
+    Attributes:
+        name: Profile label.
+        num_pods: Pods.
+        tors_per_pod: ToRs per pod.
+        aggs_per_pod: Aggregation switches per pod.
+        num_spines: Spine switches (divisible by ``aggs_per_pod``).
+    """
+
+    name: str
+    num_pods: int
+    tors_per_pod: int
+    aggs_per_pod: int
+    num_spines: int
+
+    @property
+    def approx_links(self) -> int:
+        """Closed-form link count of the plane-wired Clos."""
+        per_pod = self.aggs_per_pod * (
+            self.tors_per_pod + self.num_spines // self.aggs_per_pod
+        )
+        return self.num_pods * per_pod
+
+    def build(self, scale: float = 1.0) -> Topology:
+        """Materialize the topology, optionally scaled down.
+
+        ``scale`` < 1 shrinks the pod and ToR counts while *preserving
+        per-switch fanout* (aggs per pod stay fixed; spine planes keep at
+        least 4 switches each).  Fanout is what the disabling algorithms
+        are sensitive to — a ToR with 8 uplinks and a 75% constraint can
+        lose 2 of them regardless of how many pods exist — so miniatures
+        built this way reproduce full-size decision behaviour.
+        """
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+
+        def scaled(value: int, minimum: int) -> int:
+            return max(minimum, int(round(value * scale)))
+
+        aggs = self.aggs_per_pod
+        plane = max(4, scaled(self.num_spines // aggs, 4))
+        return build_clos(
+            num_pods=scaled(self.num_pods, 3),
+            tors_per_pod=scaled(self.tors_per_pod, 4),
+            aggs_per_pod=aggs,
+            num_spines=plane * aggs,
+            name=self.name,
+        )
+
+
+#: §7.1's medium DCN: O(15K) links.
+MEDIUM_DCN = DCNProfile(
+    name="medium", num_pods=36, tors_per_pod=32, aggs_per_pod=8, num_spines=192
+)
+
+#: §7.1's large DCN: O(35K) links.
+LARGE_DCN = DCNProfile(
+    name="large", num_pods=64, tors_per_pod=40, aggs_per_pod=8, num_spines=256
+)
+
+
+def study_profiles() -> List[DCNProfile]:
+    """The 15 study DCNs of §2, sized from ~4K to ~50K links.
+
+    Sizes interpolate between the paper's bounds; the sum lands in the
+    neighbourhood of the paper's 350K monitored links.
+    """
+    shapes = [
+        ("dcn01", 18, 26, 6, 54),
+        ("dcn02", 20, 26, 6, 60),
+        ("dcn03", 22, 28, 6, 66),
+        ("dcn04", 24, 28, 6, 72),
+        ("dcn05", 26, 30, 6, 78),
+        ("dcn06", 28, 30, 8, 96),
+        ("dcn07", 30, 32, 8, 112),
+        ("dcn08", 34, 32, 8, 128),
+        ("dcn09", 38, 34, 8, 144),
+        ("dcn10", 42, 36, 8, 160),
+        ("dcn11", 46, 38, 8, 192),
+        ("dcn12", 52, 40, 8, 224),
+        ("dcn13", 58, 42, 8, 256),
+        ("dcn14", 64, 44, 8, 288),
+        ("dcn15", 72, 48, 8, 320),
+    ]
+    return [DCNProfile(*shape) for shape in shapes]

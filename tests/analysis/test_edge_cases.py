@@ -1,0 +1,140 @@
+"""Edge-case tests for the analysis layer: empty datasets, degenerate
+series, and cross-technology recommendation behavior."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    aggregate_loss_parity,
+    bidirectional_pairs,
+    bidirectional_share,
+    corruption_to_congestion_link_ratio,
+    cv_distribution,
+    direction_similarity,
+    figure1_rows,
+    loss_bucket_table,
+    mean_pearson,
+    stage_loss_shares,
+    total_loss_ratio,
+)
+from repro.workloads.study import DcnStudy, LinkStudyRecord, StudyDataset
+
+
+def make_record(kind="corruption", loss_value=1e-4, rev=None, stage=0):
+    n = 96
+    return LinkStudyRecord(
+        dcn="d",
+        link_id=("t", "a"),
+        direction="up",
+        kind=kind,
+        stage=stage,
+        loss=np.full(n, loss_value),
+        utilization=np.full(n, 0.4),
+        rev_loss=None if rev is None else np.full(n, rev),
+    )
+
+
+def make_dataset(records) -> StudyDataset:
+    dcn = DcnStudy(
+        name="d",
+        num_links=10,
+        num_switches=6,
+        link_endpoints={("t", "a"): ("t", "a")},
+        stage_of_switch={"t": 0, "a": 1},
+        records=records,
+    )
+    return StudyDataset(dcns=[dcn], days=1)
+
+
+class TestEmptyDataset:
+    @pytest.fixture
+    def empty(self):
+        return make_dataset([])
+
+    def test_bucket_table_zeroes(self, empty):
+        table = loss_bucket_table(empty)
+        assert table["corruption"] == [0.0] * 4
+        assert table["congestion"] == [0.0] * 4
+
+    def test_link_ratio_infinite(self, empty):
+        assert corruption_to_congestion_link_ratio(empty) == float("inf")
+
+    def test_cv_and_pearson_empty(self, empty):
+        assert cv_distribution(empty, "corruption") == []
+        assert mean_pearson(empty, "corruption") == 0.0
+
+    def test_bidirectional_zero(self, empty):
+        assert bidirectional_share(empty, "corruption") == 0.0
+        assert bidirectional_pairs(empty, "congestion") == []
+
+    def test_stage_shares_empty(self, empty):
+        assert stage_loss_shares(empty, "corruption") == {}
+
+    def test_figure1_infinite_without_congestion(self, empty):
+        rows = figure1_rows(empty)
+        assert rows[0].mean_ratio == float("inf")
+        assert aggregate_loss_parity(rows) == 0.0
+        assert total_loss_ratio(empty) == float("inf")
+
+
+class TestDegenerateSeries:
+    def test_sub_threshold_records_not_lossy(self):
+        dataset = make_dataset([make_record(loss_value=1e-10)])
+        assert cv_distribution(dataset, "corruption") == []
+        table = loss_bucket_table(dataset)
+        assert table["corruption"] == [0.0] * 4
+
+    def test_constant_series_cv_zero(self):
+        dataset = make_dataset([make_record(loss_value=1e-3)])
+        cvs = cv_distribution(dataset, "corruption")
+        assert len(cvs) == 1
+        assert cvs[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_constant_loss_pearson_zero(self):
+        dataset = make_dataset([make_record(loss_value=1e-3)])
+        assert mean_pearson(dataset, "corruption") == 0.0
+
+    def test_bidirectional_requires_both_lossy(self):
+        asym = make_dataset([make_record(rev=1e-12)])
+        assert bidirectional_share(asym, "corruption") == 0.0
+        sym = make_dataset([make_record(rev=1e-4)])
+        assert bidirectional_share(sym, "corruption") == 1.0
+
+    def test_direction_similarity(self):
+        assert direction_similarity([]) == 0.0
+        assert direction_similarity([(1e-4, 1e-4)]) == pytest.approx(0.0)
+        assert direction_similarity([(1e-3, 1e-5)]) == pytest.approx(2.0)
+
+
+class TestCrossTechnologyRecommendation:
+    """The deployed single-threshold engine (§7.2) genuinely loses
+    accuracy on technologies whose real threshold differs from it —
+    the mechanism behind the paper's 'underestimate' remark."""
+
+    def test_mild_sr_fault_misread_by_deployed_engine(self):
+        import random
+
+        from repro.core import RepairAction, deployed_engine, full_engine
+        from repro.faults import ContaminationFault, observation_from_condition
+        from repro.optics import TECH_10G_SR
+
+        rng = random.Random(0)
+        # A mild contamination on 10G-SR: rx1 around -10.6 dBm, below the
+        # SR threshold (-9.9) but above the deployed threshold (-11).
+        fault = ContaminationFault(
+            target_rate=1e-8 * 3, reflective=False, tech=TECH_10G_SR
+        )
+        condition = fault.condition(rng)
+        obs_full = observation_from_condition(
+            ("a", "b"), condition, tech=TECH_10G_SR
+        )
+        assert (
+            full_engine().recommend(obs_full).action
+            is RepairAction.CLEAN_FIBER
+        )
+        obs_deployed = observation_from_condition(("a", "b"), condition)
+        obs_deployed.tech = None  # the deployed engine has no tech info
+        assert (
+            deployed_engine().recommend(obs_deployed).action
+            is RepairAction.RESEAT_TRANSCEIVER  # misdiagnosis
+        )

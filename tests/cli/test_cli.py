@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestTopologyCommand:
+    def test_builds_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "topo.json"
+        code = main(
+            [
+                "topology",
+                "--pods", "2", "--tors", "3", "--aggs", "2", "--spines", "4",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert len(data["links"]) == 2 * 3 * 2 + 2 * 2 * 2
+        assert "built" in capsys.readouterr().out
+
+    def test_fattree(self, capsys):
+        assert main(["topology", "--kind", "fattree", "--k", "4"]) == 0
+        assert "32 links" in capsys.readouterr().out
+
+
+class TestStudyCommand:
+    def test_prints_statistics(self, capsys):
+        code = main(
+            ["study", "--dcns", "2", "--days", "2", "--scale", "0.15"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corruption buckets" in out
+        assert "bidirectional" in out
+
+
+class TestSimulateCommand:
+    def test_corropt_run(self, capsys):
+        code = main(
+            [
+                "simulate", "--dcn", "medium", "--scale", "0.15",
+                "--days", "10", "--events", "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "penalty integral" in out
+        assert "worst ToR path fraction" in out
+
+    def test_switch_local_run(self, capsys):
+        code = main(
+            [
+                "simulate", "--strategy", "switch-local", "--scale", "0.15",
+                "--days", "10",
+            ]
+        )
+        assert code == 0
+        assert "switch-local" in capsys.readouterr().out
+
+
+class TestRecommendCommand:
+    def test_contamination_signature(self, capsys):
+        code = main(
+            [
+                "recommend", "--rx1", "-16", "--rx2", "-3",
+                "--tx1", "1", "--tx2", "1", "--tech", "40G-LR4",
+            ]
+        )
+        assert code == 0
+        assert "clean fiber" in capsys.readouterr().out
+
+    def test_shared_component_signature(self, capsys):
+        code = main(
+            [
+                "recommend", "--rx1", "-3", "--rx2", "-3",
+                "--tx1", "1", "--tx2", "1", "--neighbor-corrupting",
+            ]
+        )
+        assert code == 0
+        assert "shared component" in capsys.readouterr().out
+
+    def test_deployed_engine_ignores_neighbors(self, capsys):
+        code = main(
+            [
+                "recommend", "--rx1", "-3", "--rx2", "-3",
+                "--tx1", "1", "--tx2", "1", "--neighbor-corrupting",
+                "--deployed",
+            ]
+        )
+        assert code == 0
+        assert "reseat" in capsys.readouterr().out
+
+
+class TestGadgetCommand:
+    def test_equivalence_reported(self, capsys):
+        code = main(["gadget", "--vars", "3", "--clauses", "5", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "equivalence holds: True" in out

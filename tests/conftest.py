@@ -1,0 +1,51 @@
+"""Shared fixtures for the CorrOpt reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CapacityConstraint
+from repro.topology import Switch, Topology, build_clos
+
+
+@pytest.fixture
+def small_clos() -> Topology:
+    """2 pods x (3 ToRs, 2 aggs), 4 spines: 20 ToR-agg + 8 agg-spine links."""
+    return build_clos(num_pods=2, tors_per_pod=3, aggs_per_pod=2, num_spines=4)
+
+
+@pytest.fixture
+def medium_clos() -> Topology:
+    """4 pods x (4 ToRs, 4 aggs), 16 spines — enough width for disables."""
+    return build_clos(num_pods=4, tors_per_pod=4, aggs_per_pod=4, num_spines=16)
+
+
+@pytest.fixture
+def relaxed_constraint() -> CapacityConstraint:
+    return CapacityConstraint(0.5)
+
+
+@pytest.fixture
+def strict_constraint() -> CapacityConstraint:
+    return CapacityConstraint(0.75)
+
+
+def build_figure10_topology() -> Topology:
+    """The Figure-10 shape: ToR T with 5 uplinks to A..E, each with 5
+    spine uplinks (25 ToR-to-spine paths)."""
+    topo = Topology(num_stages=3, name="figure10")
+    topo.add_switch(Switch("T", stage=0))
+    for name in "ABCDE":
+        topo.add_switch(Switch(name, stage=1))
+    for s in range(5):
+        topo.add_switch(Switch(f"S{s}", stage=2))
+    for name in "ABCDE":
+        topo.add_link("T", name)
+        for s in range(5):
+            topo.add_link(name, f"S{s}")
+    return topo
+
+
+@pytest.fixture
+def figure10_topology() -> Topology:
+    return build_figure10_topology()

@@ -1,0 +1,102 @@
+"""Tests for capacity constraints and penalty functions."""
+
+import pytest
+
+from repro.core import (
+    CapacityConstraint,
+    connectivity_constraint,
+    linear_penalty,
+    penalty_of_links,
+    step_penalty,
+    tcp_throughput_penalty,
+    total_penalty,
+)
+from repro.topology import build_clos
+
+
+class TestCapacityConstraint:
+    def test_default_and_override(self):
+        c = CapacityConstraint(0.75, {"hot": 0.9})
+        assert c.threshold("hot") == 0.9
+        assert c.threshold("cold") == 0.75
+
+    def test_boundary_counts_as_satisfied(self):
+        c = CapacityConstraint(0.75)
+        assert c.satisfied_by("t", 0.75)
+        assert c.satisfied_by("t", 0.75 - 1e-15)  # float-noise tolerance
+        assert not c.satisfied_by("t", 0.7)
+
+    def test_violations(self):
+        c = CapacityConstraint(0.5)
+        violations = c.violations({"a": 0.4, "b": 0.6, "c": 0.49})
+        assert violations == {"a": 0.4, "c": 0.49}
+
+    def test_all_satisfied(self):
+        c = CapacityConstraint(0.5)
+        assert c.all_satisfied({"a": 0.5, "b": 1.0})
+        assert not c.all_satisfied({"a": 0.5, "b": 0.3})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            CapacityConstraint(1.2)
+        with pytest.raises(ValueError):
+            CapacityConstraint(0.5, {"t": -0.1})
+
+    def test_connectivity_constraint_accepts_any_path(self):
+        c = connectivity_constraint()
+        assert c.satisfied_by("t", 0.001)
+        assert not c.satisfied_by("t", 0.0)
+
+
+class TestPenaltyFunctions:
+    def test_linear_is_identity(self):
+        assert linear_penalty(1e-3) == 1e-3
+
+    def test_tcp_penalty_monotone(self):
+        rates = [1e-8, 1e-6, 1e-4, 1e-2]
+        values = [tcp_throughput_penalty(r) for r in rates]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] <= 1.0
+
+    def test_tcp_penalty_matches_paper_anchor(self):
+        # §1: 0.1% loss drops RDMA/TCP throughput substantially; the model
+        # should report a large fraction lost at 1e-3.
+        assert tcp_throughput_penalty(1e-3) > 0.9
+
+    def test_step_penalty(self):
+        assert step_penalty(1e-4, threshold=1e-3) == 0.0
+        assert step_penalty(1e-3, threshold=1e-3) == 1.0
+        assert step_penalty(5e-3, threshold=1e-3, weight=2.0) == 2.0
+
+
+class TestTotalPenalty:
+    def test_sums_enabled_corrupting_links(self):
+        topo = build_clos(2, 2, 2, 4)
+        topo.set_corruption(("pod0/tor0", "pod0/agg0"), 1e-3)
+        topo.set_corruption(("pod1/tor0", "pod1/agg0"), 2e-3)
+        assert total_penalty(topo) == pytest.approx(3e-3)
+
+    def test_disabled_links_do_not_count(self):
+        topo = build_clos(2, 2, 2, 4)
+        lid = ("pod0/tor0", "pod0/agg0")
+        topo.set_corruption(lid, 1e-3)
+        topo.disable_link(lid)
+        assert total_penalty(topo) == 0.0
+
+    def test_below_threshold_does_not_count(self):
+        topo = build_clos(2, 2, 2, 4)
+        topo.set_corruption(("pod0/tor0", "pod0/agg0"), 1e-9)
+        assert total_penalty(topo) == 0.0
+
+    def test_penalty_of_links(self):
+        topo = build_clos(2, 2, 2, 4)
+        a, b = ("pod0/tor0", "pod0/agg0"), ("pod0/tor1", "pod0/agg0")
+        topo.set_corruption(a, 1e-4)
+        topo.set_corruption(b, 1e-5)
+        assert penalty_of_links(topo, [a, b]) == pytest.approx(1.1e-4)
+
+    def test_custom_penalty_fn(self):
+        topo = build_clos(2, 2, 2, 4)
+        topo.set_corruption(("pod0/tor0", "pod0/agg0"), 1e-2)
+        assert total_penalty(topo, step_penalty) == 1.0

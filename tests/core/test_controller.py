@@ -1,0 +1,118 @@
+"""Tests for the CorrOpt controller (Figure 13 workflow)."""
+
+import pytest
+
+from repro.core import (
+    CapacityConstraint,
+    CorrOptController,
+    LinkObservation,
+    RepairAction,
+)
+from repro.optics import TECH_40G_LR4
+
+
+def make_observation(link_id) -> LinkObservation:
+    tech = TECH_40G_LR4
+    return LinkObservation(
+        link_id=link_id,
+        corruption_rate=1e-3,
+        rx1_dbm=tech.thresholds.rx_min_dbm - 3,
+        rx2_dbm=tech.healthy_rx_dbm(),
+        tx1_dbm=tech.nominal_tx_dbm,
+        tx2_dbm=tech.nominal_tx_dbm,
+        tech=tech,
+    )
+
+
+@pytest.fixture
+def controller(medium_clos):
+    return CorrOptController(
+        medium_clos,
+        CapacityConstraint(0.5),
+        observation_provider=make_observation,
+    )
+
+
+class TestReportCorruption:
+    def test_disables_when_safe(self, controller, medium_clos):
+        decision = controller.report_corruption(
+            ("pod0/tor0", "pod0/agg0"), 1e-3
+        )
+        assert decision.disabled
+        assert not medium_clos.link(("pod0/tor0", "pod0/agg0")).enabled
+        assert decision.recommendation is not None
+        assert decision.recommendation.action is RepairAction.CLEAN_FIBER
+
+    def test_keeps_when_capacity_bound(self, controller, medium_clos):
+        links = [(f"pod0/tor0", f"pod0/agg{i}") for i in range(3)]
+        decisions = [
+            controller.report_corruption(lid, 1e-3) for lid in links
+        ]
+        # 50% constraint on 4 uplinks: two disables, third must stay.
+        assert [d.disabled for d in decisions] == [True, True, False]
+        assert controller.log.kept_by_capacity == 1
+
+    def test_penalty_tracks_active_corruption(self, controller):
+        assert controller.current_penalty() == 0.0
+        controller.report_corruption(("pod0/tor0", "pod0/agg0"), 1e-3)
+        assert controller.current_penalty() == 0.0  # disabled immediately
+        for i in range(1, 4):
+            controller.report_corruption((f"pod0/tor0", f"pod0/agg{i}"), 1e-4)
+        # The 50% constraint allows two disables on a 4-uplink ToR; the
+        # first report used one, so two of these three must stay active.
+        assert controller.current_penalty() == pytest.approx(2e-4)
+
+
+class TestActivation:
+    def test_activation_reoptimizes(self, controller, medium_clos):
+        links = [(f"pod0/tor0", f"pod0/agg{i}") for i in range(3)]
+        for lid in links:
+            controller.report_corruption(lid, 1e-3)
+        kept = [lid for lid in links if medium_clos.link(lid).enabled]
+        assert len(kept) == 1
+        # Repair one disabled link; the kept one should now be disabled.
+        repaired = next(lid for lid in links if lid not in kept)
+        result = controller.activate_link(repaired, repaired=True)
+        assert kept[0] in result.to_disable
+        assert controller.current_penalty() == 0.0
+
+    def test_failed_repair_keeps_corruption(self, controller, medium_clos):
+        lid = ("pod0/tor0", "pod0/agg0")
+        controller.report_corruption(lid, 1e-3)
+        controller.activate_link(lid, repaired=False)
+        # Link is enabled but still corrupting -> the optimizer disables
+        # it again right away.
+        assert not medium_clos.link(lid).enabled
+
+    def test_log_counters(self, controller):
+        links = [(f"pod0/tor0", f"pod0/agg{i}") for i in range(3)]
+        for lid in links:
+            controller.report_corruption(lid, 1e-3)
+        assert controller.log.reports == 3
+        assert controller.log.disabled_by_fast_checker == 2
+        repaired = links[0]
+        controller.activate_link(repaired)
+        assert controller.log.activations == 1
+        assert controller.log.disabled_by_optimizer >= 1
+
+
+class TestStateQueries:
+    def test_fraction_queries(self, controller, medium_clos):
+        assert controller.worst_tor_fraction() == 1.0
+        assert controller.average_tor_fraction() == 1.0
+        controller.report_corruption(("pod0/tor0", "pod0/agg0"), 1e-3)
+        assert controller.worst_tor_fraction() == pytest.approx(0.75)
+        assert controller.average_tor_fraction() < 1.0
+
+    def test_on_disable_hook_fires(self, medium_clos):
+        seen = []
+        controller = CorrOptController(
+            medium_clos,
+            CapacityConstraint(0.5),
+            observation_provider=make_observation,
+            on_disable=lambda lid, rec: seen.append((lid, rec)),
+        )
+        controller.report_corruption(("pod0/tor0", "pod0/agg0"), 1e-3)
+        assert len(seen) == 1
+        assert seen[0][0] == ("pod0/tor0", "pod0/agg0")
+        assert seen[0][1].action is RepairAction.CLEAN_FIBER

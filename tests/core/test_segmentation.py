@@ -1,0 +1,91 @@
+"""Tests for topology segmentation (§8, Figure 20)."""
+
+from repro.core import segment_links, segmentation_summary
+from repro.topology import build_clos
+
+
+class TestSegmentLinks:
+    def test_independent_pods_form_separate_segments(self, medium_clos):
+        contested = [
+            ("pod0/tor0", "pod0/agg0"),
+            ("pod0/tor0", "pod0/agg1"),
+            ("pod1/tor0", "pod1/agg0"),
+        ]
+        at_risk = {"pod0/tor0", "pod1/tor0"}
+        segments = segment_links(medium_clos, contested, at_risk)
+        assert len(segments) == 2
+        sizes = sorted(len(seg.links) for seg in segments)
+        assert sizes == [1, 2]
+
+    def test_shared_tor_merges_segments(self, medium_clos):
+        # Two agg-spine links in the same pod share every ToR below the pod.
+        contested = [
+            ("pod0/agg0", "spine0"),
+            ("pod0/agg1", "spine4"),
+        ]
+        at_risk = {"pod0/tor0"}
+        segments = segment_links(medium_clos, contested, at_risk)
+        assert len(segments) == 1
+        assert segments[0].links == frozenset(contested)
+        assert "pod0/tor0" in segments[0].tors
+
+    def test_link_with_no_at_risk_tor_is_singleton(self, medium_clos):
+        contested = [("pod2/tor0", "pod2/agg0")]
+        segments = segment_links(medium_clos, contested, set())
+        assert len(segments) == 1
+        assert segments[0].tors == frozenset()
+
+    def test_spine_link_bridges_pods(self):
+        """An agg-spine link is upstream of all its pod's ToRs; ToRs in
+        *different* pods only merge if a common spine-side link serves
+        both — which plane wiring prevents for tor-agg links."""
+        topo = build_clos(3, 2, 2, 4)
+        contested = [
+            ("pod0/agg0", "spine0"),
+            ("pod1/agg0", "spine0"),  # same spine, different pods
+        ]
+        at_risk = {"pod0/tor0", "pod1/tor0"}
+        segments = segment_links(topo, contested, at_risk)
+        # Links are upstream of disjoint ToR sets -> independent.
+        assert len(segments) == 2
+
+    def test_every_contested_link_appears_exactly_once(self, medium_clos):
+        contested = [
+            ("pod0/tor0", "pod0/agg0"),
+            ("pod0/agg0", "spine0"),
+            ("pod1/tor1", "pod1/agg1"),
+            ("pod2/agg2", "spine8"),
+        ]
+        at_risk = {"pod0/tor0", "pod1/tor1", "pod2/tor0"}
+        segments = segment_links(medium_clos, contested, at_risk)
+        seen = [lid for seg in segments for lid in seg.links]
+        assert sorted(seen) == sorted(contested)
+
+    def test_deterministic_order(self, medium_clos):
+        contested = [
+            ("pod1/tor0", "pod1/agg0"),
+            ("pod0/tor0", "pod0/agg0"),
+        ]
+        at_risk = {"pod0/tor0", "pod1/tor0"}
+        a = segment_links(medium_clos, contested, at_risk)
+        b = segment_links(medium_clos, list(reversed(contested)), at_risk)
+        assert [seg.links for seg in a] == [seg.links for seg in b]
+
+
+class TestSummary:
+    def test_summary_counts(self, medium_clos):
+        contested = [
+            ("pod0/tor0", "pod0/agg0"),
+            ("pod0/tor0", "pod0/agg1"),
+            ("pod1/tor0", "pod1/agg0"),
+        ]
+        segments = segment_links(
+            medium_clos, contested, {"pod0/tor0", "pod1/tor0"}
+        )
+        count, largest, total = segmentation_summary(segments)
+        assert count == 2
+        assert largest == 2
+        assert total == 3
+
+    def test_empty_summary(self):
+        assert segmentation_summary([]) == (0, 0, 0)

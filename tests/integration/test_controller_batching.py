@@ -1,0 +1,98 @@
+"""Integration: controller + collateral-aware batching + technician pool.
+
+Exercises the full operational loop on a breakout-heavy topology: shared
+faults disable cable members, the scheduler batches their tickets into one
+visit per cable (deferring unsafe collateral), and the pool drains them.
+"""
+
+import pytest
+
+from repro.core import CapacityConstraint, CorrOptController
+from repro.faults import FaultInjector, RootCause, apply_event
+from repro.ticketing import CollateralAwareScheduler, Ticket
+from repro.topology import assign_breakout_groups, build_clos
+
+
+@pytest.fixture
+def setup():
+    topo = build_clos(3, 4, 8, 64)
+    groups = assign_breakout_groups(topo, fraction=0.5, links_per_cable=4)
+    controller = CorrOptController(topo, CapacityConstraint(0.5))
+    scheduler = CollateralAwareScheduler(
+        topo, controller.constraint, counter=controller.counter
+    )
+    return topo, groups, controller, scheduler
+
+
+class TestControllerWithBatching:
+    def test_shared_fault_tickets_batch_into_one_visit(self, setup):
+        topo, groups, controller, scheduler = setup
+        injector = FaultInjector(
+            topo,
+            seed=11,
+            cause_mix={RootCause.SHARED_COMPONENT: 1.0},
+        )
+        # Find a shared fault that lands on a breakout cable.
+        event = None
+        for _ in range(50):
+            candidate = injector.sample_fault()
+            if topo.link(candidate.link_ids[0]).breakout_group is not None:
+                event = candidate
+                break
+        assert event is not None
+        apply_event(topo, event)
+
+        tickets = []
+        for lid, condition in zip(event.link_ids, event.conditions):
+            decision = controller.report_corruption(lid, condition.fwd_rate)
+            if decision.disabled:
+                tickets.append(Ticket(link_id=lid, created_s=0.0))
+        assert tickets
+
+        batches = scheduler.plan(tickets)
+        assert len(batches) == 1
+        cable = topo.link(event.link_ids[0]).breakout_group
+        assert batches[0].take_down == set(topo.breakout_members(cable))
+
+    def test_batch_repair_resolves_all_members(self, setup):
+        topo, groups, controller, scheduler = setup
+        members = next(iter(groups.values()))
+        for lid in members:
+            topo.set_corruption(lid, 1e-3)
+            controller.report_corruption(lid, 1e-3)
+        tickets = [
+            Ticket(link_id=lid, created_s=0.0)
+            for lid in members
+            if not topo.link(lid).enabled
+        ]
+        batches = scheduler.dispatchable(tickets)
+        assert batches
+        # One visit repairs the whole cable: re-activate every member.
+        for batch in batches:
+            for lid in sorted(batch.take_down):
+                if not topo.link(lid).enabled:
+                    controller.activate_link(lid, repaired=True)
+        for lid in members:
+            link = topo.link(lid)
+            assert link.enabled or lid in controller.topo.corrupting_links()
+
+    def test_deferred_batch_becomes_safe_after_repairs(self, setup):
+        topo, groups, controller, scheduler = setup
+        # Pick a ToR cable and drain the same ToR's other uplinks so the
+        # collateral disable is initially unsafe.
+        tor_cable = next(
+            m for m in groups.values() if topo.switch(m[0][0]).stage == 0
+        )
+        tor = tor_cable[0][0]
+        others = [
+            lid for lid in topo.uplinks(tor) if lid not in tor_cable
+        ][:2]
+        for lid in others:
+            topo.disable_link(lid)
+
+        ticket = Ticket(link_id=tor_cable[0], created_s=0.0)
+        assert scheduler.dispatchable([ticket]) == []
+
+        for lid in others:
+            topo.enable_link(lid)
+        assert len(scheduler.dispatchable([ticket])) == 1

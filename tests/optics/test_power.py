@@ -1,0 +1,65 @@
+"""Tests for optical power math and transceiver technologies."""
+
+import pytest
+
+from repro.optics import (
+    TECH_10G_SR,
+    TECH_40G_LR4,
+    TECHNOLOGIES,
+    PowerThresholds,
+    attenuate,
+    dbm_to_mw,
+    mw_to_dbm,
+)
+
+
+class TestConversions:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_ten_dbm_is_ten_mw(self):
+        assert dbm_to_mw(10.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        for dbm in (-20.0, -3.0, 0.0, 5.0):
+            assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm)
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            mw_to_dbm(-1.0)
+
+    def test_attenuate_subtracts(self):
+        assert attenuate(-3.0, 4.0) == -7.0
+
+
+class TestThresholds:
+    def test_low_detection(self):
+        thresholds = PowerThresholds(rx_min_dbm=-10.0, tx_min_dbm=-7.0)
+        assert thresholds.rx_is_low(-10.5)
+        assert not thresholds.rx_is_low(-10.0)
+        assert thresholds.tx_is_low(-8.0)
+        assert not thresholds.tx_is_low(-6.0)
+
+
+class TestTechnologies:
+    def test_registry_complete(self):
+        assert set(TECHNOLOGIES) == {"10G-SR", "40G-LR4", "100G-CWDM4"}
+
+    def test_healthy_rx_above_threshold(self):
+        """Every technology's healthy link must have positive Rx margin —
+        otherwise healthy links would corrupt."""
+        for tech in TECHNOLOGIES.values():
+            margin = tech.healthy_rx_dbm() - tech.thresholds.rx_min_dbm
+            assert margin > 3.0, tech.name
+
+    def test_healthy_tx_above_threshold(self):
+        for tech in TECHNOLOGIES.values():
+            assert tech.nominal_tx_dbm > tech.thresholds.tx_min_dbm
+
+    def test_healthy_rx_formula(self):
+        assert TECH_40G_LR4.healthy_rx_dbm() == pytest.approx(
+            TECH_40G_LR4.nominal_tx_dbm - TECH_40G_LR4.fiber_loss_db
+        )
+        assert TECH_10G_SR.healthy_rx_dbm() == pytest.approx(-4.0)

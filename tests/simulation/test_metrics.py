@@ -1,0 +1,89 @@
+"""Tests for StepSeries and simulation metrics."""
+
+import pytest
+
+from repro.simulation import SimulationMetrics, StepSeries
+
+
+class TestStepSeries:
+    def test_initial_value(self):
+        series = StepSeries(5.0)
+        assert series.value_at(0.0) == 5.0
+        assert series.value_at(100.0) == 5.0
+
+    def test_record_and_lookup(self):
+        series = StepSeries(0.0)
+        series.record(10.0, 2.0)
+        series.record(20.0, 3.0)
+        assert series.value_at(5.0) == 0.0
+        assert series.value_at(10.0) == 2.0
+        assert series.value_at(15.0) == 2.0
+        assert series.value_at(25.0) == 3.0
+
+    def test_equal_time_overwrites(self):
+        series = StepSeries(0.0)
+        series.record(10.0, 1.0)
+        series.record(10.0, 7.0)
+        assert series.value_at(10.0) == 7.0
+
+    def test_time_reversal_rejected(self):
+        series = StepSeries(0.0)
+        series.record(10.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            series.record(5.0, 2.0)
+
+    def test_no_change_is_compacted(self):
+        series = StepSeries(1.0)
+        series.record(10.0, 1.0)
+        assert len(series) == 1
+
+    def test_integral_exact(self):
+        series = StepSeries(1.0)
+        series.record(10.0, 3.0)
+        series.record(20.0, 0.0)
+        # 1 * 10 + 3 * 10 + 0 * 10
+        assert series.integral(0.0, 30.0) == pytest.approx(40.0)
+
+    def test_integral_partial_window(self):
+        series = StepSeries(2.0)
+        series.record(10.0, 4.0)
+        assert series.integral(5.0, 15.0) == pytest.approx(2 * 5 + 4 * 5)
+
+    def test_mean(self):
+        series = StepSeries(0.0)
+        series.record(50.0, 10.0)
+        assert series.mean(0.0, 100.0) == pytest.approx(5.0)
+
+    def test_binned(self):
+        series = StepSeries(0.0)
+        series.record(100.0, 6.0)
+        bins = series.binned(0.0, 200.0, 100.0)
+        assert bins == [(0.0, pytest.approx(0.0)), (100.0, pytest.approx(6.0))]
+
+    def test_binned_validation(self):
+        with pytest.raises(ValueError):
+            StepSeries(0.0).binned(0, 10, 0)
+
+    def test_min_value(self):
+        series = StepSeries(5.0)
+        series.record(1.0, 2.0)
+        series.record(2.0, 9.0)
+        assert series.min_value() == 2.0
+
+    def test_changes_exposed(self):
+        series = StepSeries(0.0, start_s=0.0)
+        series.record(1.0, 2.0)
+        assert series.changes() == [(0.0, 0.0), (1.0, 2.0)]
+
+
+class TestSimulationMetrics:
+    def test_defaults(self):
+        metrics = SimulationMetrics()
+        assert metrics.penalty.value_at(0.0) == 0.0
+        assert metrics.worst_tor_fraction.value_at(0.0) == 1.0
+        assert metrics.total_penalty_integral(100.0) == 0.0
+
+    def test_penalty_integral_reflects_recording(self):
+        metrics = SimulationMetrics()
+        metrics.penalty.record(10.0, 1e-3)
+        assert metrics.total_penalty_integral(20.0) == pytest.approx(1e-2)

@@ -1,0 +1,97 @@
+"""Tests for the SNMP poller and telemetry store."""
+
+import pytest
+
+from repro.telemetry import SnmpPoller, TelemetryStore
+from repro.topology import Direction, build_clos
+
+
+@pytest.fixture
+def setup():
+    topo = build_clos(1, 2, 2, 4)
+    store = TelemetryStore()
+    poller = SnmpPoller(
+        topo,
+        store,
+        packets_fn=lambda did, t: 1_000_000,
+    )
+    return topo, store, poller
+
+
+class TestPoller:
+    def test_poll_advances_time(self, setup):
+        _topo, _store, poller = setup
+        assert poller.poll_once() == 900.0
+        assert poller.poll_once() == 1800.0
+
+    def test_rates_need_two_polls(self, setup):
+        topo, store, poller = setup
+        lid = ("pod0/tor0", "pod0/agg0")
+        topo.set_corruption(lid, 1e-3, Direction.UP)
+        poller.poll_once()
+        assert store.num_directions() == 0  # first poll only seeds
+        poller.poll_once()
+        series = store.corruption_series(lid)
+        assert len(series) == 1
+        assert series.values[0] == pytest.approx(1e-3, rel=0.01)
+
+    def test_disabled_links_not_polled(self, setup):
+        topo, store, poller = setup
+        lid = ("pod0/tor0", "pod0/agg0")
+        topo.disable_link(lid)
+        poller.run(3)
+        assert lid not in list(store.directions())
+        # Other links were recorded.
+        assert store.num_directions() == 2 * (topo.num_links - 1)
+
+    def test_corruption_only_on_set_direction(self, setup):
+        topo, store, poller = setup
+        lid = ("pod0/tor0", "pod0/agg0")
+        topo.set_corruption(lid, 1e-3, Direction.UP)
+        poller.run(3)
+        up = store.corruption_series(lid)
+        down = store.corruption_series(("pod0/agg0", "pod0/tor0"))
+        assert up.mean() > 1e-4
+        assert down.mean() == 0.0
+
+    def test_congestion_fn_feeds_drops(self):
+        topo = build_clos(1, 2, 2, 4)
+        store = TelemetryStore()
+        poller = SnmpPoller(
+            topo,
+            store,
+            packets_fn=lambda did, t: 1_000_000,
+            congestion_fn=lambda did, t: 1e-4,
+        )
+        poller.run(3)
+        series = store.congestion_series(("pod0/tor0", "pod0/agg0"))
+        assert series.mean() == pytest.approx(1e-4, rel=0.05)
+
+    def test_utilization_recorded(self, setup):
+        _topo, store, poller = setup
+        poller.run(3)
+        series = store.utilization_series(("pod0/tor0", "pod0/agg0"))
+        # 1e6 packets of 1000B over 900s on 40G: 8e9/4.5e12.
+        assert 0.0 < series.mean() < 0.01
+
+
+class TestStore:
+    def test_out_of_order_append_rejected(self):
+        store = TelemetryStore()
+        store.append_rates(("a", "b"), 900.0, 0.0, 0.0, 0.1)
+        with pytest.raises(ValueError, match="time-ordered"):
+            store.append_rates(("a", "b"), 900.0, 0.0, 0.0, 0.1)
+
+    def test_mean_rates(self):
+        store = TelemetryStore()
+        store.append_rates(("a", "b"), 900.0, 1e-3, 1e-5, 0.5)
+        store.append_rates(("a", "b"), 1800.0, 3e-3, 3e-5, 0.5)
+        corruption, congestion = store.mean_rates(("a", "b"))
+        assert corruption == pytest.approx(2e-3)
+        assert congestion == pytest.approx(2e-5)
+
+    def test_series_interval_inferred(self):
+        store = TelemetryStore()
+        store.append_rates(("a", "b"), 900.0, 0, 0, 0)
+        store.append_rates(("a", "b"), 1800.0, 0, 0, 0)
+        assert store.corruption_series(("a", "b")).interval_s == 900.0

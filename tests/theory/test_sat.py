@@ -1,0 +1,92 @@
+"""Tests for the 3-SAT machinery."""
+
+import pytest
+
+from repro.theory import (
+    ThreeSatInstance,
+    dpll_solve,
+    is_satisfiable,
+    random_instance,
+    unsatisfiable_instance,
+)
+
+
+class TestInstance:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="3 literals"):
+            ThreeSatInstance(2, ((1, 2),))
+        with pytest.raises(ValueError, match="out of range"):
+            ThreeSatInstance(2, ((1, 2, 3),))
+        with pytest.raises(ValueError, match="out of range"):
+            ThreeSatInstance(3, ((1, 2, 0),))
+
+    def test_satisfaction_check(self):
+        inst = ThreeSatInstance(3, ((1, -2, 3),))
+        assert inst.is_satisfied_by([True, True, False])
+        assert not inst.is_satisfied_by([False, True, False])
+
+    def test_assignment_length_checked(self):
+        inst = ThreeSatInstance(3, ((1, 2, 3),))
+        with pytest.raises(ValueError):
+            inst.is_satisfied_by([True])
+
+    def test_padded_reaches_k_ge_r(self):
+        inst = ThreeSatInstance(5, ((1, 2, 3),))
+        padded = inst.padded()
+        assert padded.num_clauses >= padded.num_vars
+        assert is_satisfiable(inst) == is_satisfiable(padded)
+
+
+class TestDpll:
+    def test_satisfiable_returns_model(self):
+        inst = ThreeSatInstance(3, ((1, 2, 3), (-1, -2, -3), (1, -2, 3)))
+        model = dpll_solve(inst)
+        assert model is not None
+        assert inst.is_satisfied_by(model)
+
+    def test_unsatisfiable_returns_none(self):
+        assert dpll_solve(unsatisfiable_instance()) is None
+
+    def test_model_always_satisfies(self):
+        for seed in range(20):
+            inst = random_instance(5, 12, seed=seed)
+            model = dpll_solve(inst)
+            if model is not None:
+                assert inst.is_satisfied_by(model)
+
+    def test_agrees_with_exhaustive_check(self):
+        """Cross-validate DPLL against brute-force enumeration."""
+        import itertools
+
+        for seed in range(15):
+            inst = random_instance(4, 14, seed=seed)
+            exhaustive = any(
+                inst.is_satisfied_by(list(bits))
+                for bits in itertools.product([False, True], repeat=4)
+            )
+            assert is_satisfiable(inst) == exhaustive
+
+
+class TestGenerators:
+    def test_random_instance_deterministic(self):
+        a = random_instance(5, 8, seed=3)
+        b = random_instance(5, 8, seed=3)
+        assert a == b
+
+    def test_random_instance_distinct_vars_per_clause(self):
+        inst = random_instance(6, 30, seed=4)
+        for clause in inst.clauses:
+            assert len({abs(l) for l in clause}) == 3
+
+    def test_too_few_vars_rejected(self):
+        with pytest.raises(ValueError):
+            random_instance(2, 5)
+
+    def test_unsat_instance_is_unsat(self):
+        inst = unsatisfiable_instance()
+        import itertools
+
+        assert not any(
+            inst.is_satisfied_by(list(bits))
+            for bits in itertools.product([False, True], repeat=3)
+        )

@@ -1,0 +1,97 @@
+"""Tests for collateral-aware repair batching (§8)."""
+
+import pytest
+
+from repro.core import CapacityConstraint
+from repro.ticketing import CollateralAwareScheduler, Ticket
+from repro.topology import assign_breakout_groups, build_clos
+
+
+@pytest.fixture
+def topo_with_breakouts():
+    topo = build_clos(2, 4, 8, 64)  # aggs have 8 uplinks -> cables form
+    groups = assign_breakout_groups(topo, fraction=0.5, links_per_cable=4)
+    return topo, groups
+
+
+def ticket_for(link_id) -> Ticket:
+    return Ticket(link_id=link_id, created_s=0.0)
+
+
+class TestBatching:
+    def test_same_cable_tickets_merge(self, topo_with_breakouts):
+        topo, groups = topo_with_breakouts
+        members = next(iter(groups.values()))
+        scheduler = CollateralAwareScheduler(topo, CapacityConstraint(0.5))
+        tickets = [ticket_for(members[0]), ticket_for(members[1])]
+        batches = scheduler.plan(tickets)
+        assert len(batches) == 1
+        assert set(batches[0].take_down) == set(members)
+        assert len(batches[0].tickets) == 2
+
+    def test_collateral_is_healthy_members(self, topo_with_breakouts):
+        topo, groups = topo_with_breakouts
+        members = next(iter(groups.values()))
+        scheduler = CollateralAwareScheduler(topo, CapacityConstraint(0.5))
+        batches = scheduler.plan([ticket_for(members[0])])
+        assert batches[0].collateral == set(members) - {members[0]}
+
+    def test_plain_link_has_no_collateral(self):
+        topo = build_clos(2, 2, 2, 4)
+        scheduler = CollateralAwareScheduler(topo, CapacityConstraint(0.5))
+        lid = ("pod0/tor0", "pod0/agg0")
+        batches = scheduler.plan([ticket_for(lid)])
+        assert len(batches) == 1
+        assert batches[0].collateral == set()
+        assert batches[0].safe_now
+
+    def test_unsafe_batch_deferred(self, topo_with_breakouts):
+        topo, groups = topo_with_breakouts
+        # Find a ToR cable; taking all 4 of a ToR's 8 uplinks down leaves
+        # 4/8 = 0.5, so a 75% constraint blocks it.
+        tor_cable = next(
+            members
+            for members in groups.values()
+            if topo.switch(members[0][0]).stage == 0
+        )
+        scheduler = CollateralAwareScheduler(topo, CapacityConstraint(0.75))
+        batches = scheduler.plan([ticket_for(tor_cable[0])])
+        assert not batches[0].safe_now
+        assert batches[0].violated_tors
+        assert scheduler.dispatchable([ticket_for(tor_cable[0])]) == []
+
+    def test_safe_batch_dispatchable(self, topo_with_breakouts):
+        topo, groups = topo_with_breakouts
+        tor_cable = next(
+            members
+            for members in groups.values()
+            if topo.switch(members[0][0]).stage == 0
+        )
+        # At 50% the same cable is fine.
+        scheduler = CollateralAwareScheduler(topo, CapacityConstraint(0.5))
+        dispatch = scheduler.dispatchable([ticket_for(tor_cable[0])])
+        assert len(dispatch) == 1
+
+    def test_already_disabled_members_cost_nothing(self, topo_with_breakouts):
+        topo, groups = topo_with_breakouts
+        tor_cable = next(
+            members
+            for members in groups.values()
+            if topo.switch(members[0][0]).stage == 0
+        )
+        # Pre-disable the whole cable: the batch adds nothing, so it is
+        # safe even under a constraint that its fresh disable would break.
+        for lid in tor_cable:
+            topo.disable_link(lid)
+        scheduler = CollateralAwareScheduler(topo, CapacityConstraint(0.75))
+        batches = scheduler.plan([ticket_for(tor_cable[0])])
+        assert batches[0].safe_now
+
+    def test_distinct_cables_stay_separate(self, topo_with_breakouts):
+        topo, groups = topo_with_breakouts
+        keys = list(groups.values())[:2]
+        scheduler = CollateralAwareScheduler(topo, CapacityConstraint(0.5))
+        batches = scheduler.plan(
+            [ticket_for(keys[0][0]), ticket_for(keys[1][0])]
+        )
+        assert len(batches) == 2

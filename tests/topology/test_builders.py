@@ -1,0 +1,146 @@
+"""Tests for the Clos / fat-tree / multi-tier / irregular builders."""
+
+import pytest
+
+from repro.topology import (
+    build_clos,
+    build_fattree,
+    build_irregular_clos,
+    build_multi_tier,
+    degrade,
+    sprinkle_corruption,
+    validate,
+)
+from repro.topology.validate import TopologyError
+
+
+class TestClos:
+    def test_link_count_formula(self):
+        topo = build_clos(3, 4, 2, 8)
+        assert topo.num_links == 3 * 4 * 2 + 3 * 2 * 4
+
+    def test_mesh_spine_wiring(self):
+        topo = build_clos(2, 2, 2, 4, mesh_spine=True)
+        # every agg connects to every spine
+        assert len(topo.uplinks("pod0/agg0")) == 4
+
+    def test_plane_wiring_partitions_spines(self):
+        topo = build_clos(2, 2, 2, 4)
+        up0 = {topo.link(l).upper for l in topo.uplinks("pod0/agg0")}
+        up1 = {topo.link(l).upper for l in topo.uplinks("pod0/agg1")}
+        assert up0.isdisjoint(up1)
+        assert up0 | up1 == set(topo.spines())
+
+    def test_indivisible_spines_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            build_clos(2, 2, 3, 4)
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            build_clos(0, 2, 2, 4)
+
+    def test_validates(self):
+        validate(build_clos(2, 3, 2, 4))
+
+
+class TestFatTree:
+    @pytest.mark.parametrize("k", [2, 4, 6, 8])
+    def test_link_count_is_k_cubed_over_2(self, k):
+        topo = build_fattree(k)
+        assert topo.num_links == k**3 // 2
+
+    def test_switch_counts(self):
+        k = 4
+        topo = build_fattree(k)
+        assert len(topo.tors()) == k * k // 2
+        assert len(topo.spines()) == (k // 2) ** 2
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            build_fattree(3)
+
+    def test_validates(self):
+        validate(build_fattree(4))
+
+    def test_every_tor_has_half_k_uplinks(self):
+        k = 6
+        topo = build_fattree(k)
+        for tor in topo.tors():
+            assert len(topo.uplinks(tor)) == k // 2
+
+
+class TestMultiTier:
+    def test_four_stage_network(self):
+        topo = build_multi_tier([8, 6, 4, 2], [3, 2, 2])
+        assert topo.num_stages == 4
+        assert topo.tiers_above_tor() == 3
+        validate(topo)
+
+    def test_uplink_counts_respected(self):
+        topo = build_multi_tier([4, 4, 4], [2, 3])
+        assert all(len(topo.uplinks(t)) == 2 for t in topo.stage(0))
+        assert all(len(topo.uplinks(a)) == 3 for a in topo.stage(1))
+
+    def test_fanout_exceeding_stage_rejected(self):
+        with pytest.raises(ValueError, match="uplinks"):
+            build_multi_tier([2, 2, 2], [3, 1])
+
+    def test_mismatched_uplink_spec_rejected(self):
+        with pytest.raises(ValueError, match="entry per"):
+            build_multi_tier([2, 2, 2], [1])
+
+
+class TestIrregularAndDegrade:
+    def test_irregular_is_valid(self):
+        for seed in range(5):
+            validate(build_irregular_clos(seed=seed))
+
+    def test_irregular_deterministic(self):
+        a = build_irregular_clos(seed=3)
+        b = build_irregular_clos(seed=3)
+        assert sorted(a.link_ids()) == sorted(b.link_ids())
+
+    def test_degrade_keeps_connectivity(self):
+        topo = build_clos(3, 3, 3, 9)
+        degrade(topo, disable_fraction=0.1)
+        validate(topo)  # every ToR still reaches the spine
+        assert len(topo.disabled_links()) > 0
+
+    def test_sprinkle_corruption_counts(self):
+        topo = build_clos(3, 3, 3, 9)
+        n = sprinkle_corruption(topo, fraction=0.2)
+        assert n == len(topo.corrupting_links())
+        assert n > 0
+
+    def test_sprinkle_rates_within_bounds(self):
+        topo = build_clos(2, 2, 2, 4)
+        sprinkle_corruption(topo, fraction=1.0, min_rate=1e-6, max_rate=1e-4)
+        for lid in topo.corrupting_links():
+            rate = topo.link(lid).max_corruption_rate()
+            assert 1e-6 <= rate <= 1e-4 * 1.0001
+
+
+class TestValidate:
+    def test_empty_stage_detected(self):
+        from repro.topology import Switch, Topology
+
+        topo = Topology(num_stages=3)
+        topo.add_switch(Switch("t", stage=0))
+        topo.add_switch(Switch("s", stage=2))
+        with pytest.raises(TopologyError, match="stage 1"):
+            validate(topo)
+
+    def test_uplinkless_switch_detected(self):
+        from repro.topology import Switch, Topology
+
+        topo = Topology(num_stages=2)
+        topo.add_switch(Switch("t", stage=0))
+        topo.add_switch(Switch("s", stage=1))
+        with pytest.raises(TopologyError, match="no uplinks"):
+            validate(topo)
+
+    def test_disconnected_tor_detected(self, small_clos):
+        for lid in small_clos.uplinks("pod0/tor0"):
+            small_clos.disable_link(lid)
+        with pytest.raises(TopologyError, match="cannot reach"):
+            validate(small_clos)

@@ -1,0 +1,86 @@
+"""Unit tests for topology elements (switches, links, directions)."""
+
+import pytest
+
+from repro.topology.elements import (
+    Direction,
+    Link,
+    LinkState,
+    Switch,
+    canonical_link_id,
+)
+
+
+class TestDirection:
+    def test_reverse_up(self):
+        assert Direction.UP.reverse() is Direction.DOWN
+
+    def test_reverse_down(self):
+        assert Direction.DOWN.reverse() is Direction.UP
+
+    def test_double_reverse_is_identity(self):
+        for direction in Direction:
+            assert direction.reverse().reverse() is direction
+
+
+class TestSwitch:
+    def test_tor_detection(self):
+        assert Switch("t", stage=0).is_tor()
+        assert not Switch("a", stage=1).is_tor()
+
+    def test_defaults(self):
+        sw = Switch("x", stage=2)
+        assert sw.pod is None
+        assert not sw.deep_buffer
+
+
+class TestLink:
+    def test_link_id_orders_lower_first(self):
+        link = Link(lower="tor", upper="agg")
+        assert link.link_id == ("tor", "agg")
+
+    def test_new_link_is_enabled_and_healthy(self):
+        link = Link(lower="a", upper="b")
+        assert link.enabled
+        assert not link.is_corrupting()
+        assert link.max_corruption_rate() == 0.0
+
+    def test_disabled_states_not_enabled(self):
+        link = Link(lower="a", upper="b")
+        link.state = LinkState.DISABLED
+        assert not link.enabled
+        link.state = LinkState.DRAINED
+        assert not link.enabled
+
+    def test_max_corruption_rate_takes_worse_direction(self):
+        link = Link(lower="a", upper="b")
+        link.corruption_rate[Direction.UP] = 1e-6
+        link.corruption_rate[Direction.DOWN] = 1e-3
+        assert link.max_corruption_rate() == 1e-3
+
+    def test_is_corrupting_threshold(self):
+        link = Link(lower="a", upper="b")
+        link.corruption_rate[Direction.UP] = 1e-9
+        assert not link.is_corrupting(threshold=1e-8)
+        link.corruption_rate[Direction.UP] = 1e-8
+        assert link.is_corrupting(threshold=1e-8)
+
+    def test_direction_ids(self):
+        link = Link(lower="a", upper="b")
+        assert link.direction_id(Direction.UP) == ("a", "b")
+        assert link.direction_id(Direction.DOWN) == ("b", "a")
+
+
+class TestCanonicalLinkId:
+    def test_orders_by_stage(self):
+        stages = {"agg": 1, "tor": 0}
+        assert canonical_link_id("agg", "tor", stages) == ("tor", "agg")
+        assert canonical_link_id("tor", "agg", stages) == ("tor", "agg")
+
+    def test_rejects_same_stage(self):
+        with pytest.raises(ValueError, match="adjacent"):
+            canonical_link_id("a", "b", {"a": 1, "b": 1})
+
+    def test_rejects_stage_skipping(self):
+        with pytest.raises(ValueError, match="adjacent"):
+            canonical_link_id("tor", "spine", {"tor": 0, "spine": 2})

@@ -1,0 +1,139 @@
+"""Unit tests for the Topology container."""
+
+import pytest
+
+from repro.topology import Direction, Switch, Topology
+
+
+class TestConstruction:
+    def test_minimum_stages(self):
+        with pytest.raises(ValueError, match="at least"):
+            Topology(num_stages=1)
+
+    def test_duplicate_switch_rejected(self, small_clos):
+        with pytest.raises(ValueError, match="duplicate switch"):
+            small_clos.add_switch(Switch("pod0/tor0", stage=0))
+
+    def test_duplicate_link_rejected(self, small_clos):
+        with pytest.raises(ValueError, match="duplicate link"):
+            small_clos.add_link("pod0/tor0", "pod0/agg0")
+
+    def test_stage_out_of_range_rejected(self):
+        topo = Topology(num_stages=2)
+        with pytest.raises(ValueError, match="outside"):
+            topo.add_switch(Switch("x", stage=5))
+
+    def test_counts(self, small_clos):
+        # 2 pods x 3 tors x 2 aggs + 2 pods x 2 aggs x 2 spine-group
+        assert small_clos.num_links == 2 * 3 * 2 + 2 * 2 * 2
+        assert small_clos.num_switches == 2 * (3 + 2) + 4
+
+
+class TestLookup:
+    def test_find_link_either_order(self, small_clos):
+        a = small_clos.find_link("pod0/tor0", "pod0/agg0")
+        b = small_clos.find_link("pod0/agg0", "pod0/tor0")
+        assert a is b
+
+    def test_tors_and_spines(self, small_clos):
+        assert len(small_clos.tors()) == 6
+        assert len(small_clos.spines()) == 4
+        assert all(small_clos.switch(t).stage == 0 for t in small_clos.tors())
+
+    def test_uplinks_downlinks_consistent(self, small_clos):
+        for lid in small_clos.link_ids():
+            lower, upper = lid
+            assert lid in small_clos.uplinks(lower)
+            assert lid in small_clos.downlinks(upper)
+
+    def test_switch_links_union(self, small_clos):
+        agg = "pod0/agg0"
+        links = small_clos.switch_links(agg)
+        assert len(links) == 3 + 2  # 3 tors below, 2 spines above
+
+    def test_tiers_above_tor(self, small_clos):
+        assert small_clos.tiers_above_tor() == 2
+
+
+class TestAdministrativeState:
+    def test_disable_enable_roundtrip(self, small_clos):
+        lid = ("pod0/tor0", "pod0/agg0")
+        small_clos.disable_link(lid)
+        assert not small_clos.link(lid).enabled
+        assert lid in small_clos.disabled_links()
+        small_clos.enable_link(lid)
+        assert small_clos.link(lid).enabled
+        assert not small_clos.disabled_links()
+
+    def test_drain_removes_from_service(self, small_clos):
+        lid = ("pod0/tor0", "pod0/agg0")
+        small_clos.drain_link(lid)
+        assert not small_clos.link(lid).enabled
+        assert lid in small_clos.disabled_links()
+
+    def test_corrupting_links_excludes_disabled(self, small_clos):
+        lid = ("pod0/tor0", "pod0/agg0")
+        small_clos.set_corruption(lid, 1e-4)
+        assert lid in small_clos.corrupting_links()
+        small_clos.disable_link(lid)
+        assert lid not in small_clos.corrupting_links()
+
+    def test_set_corruption_validates_rate(self, small_clos):
+        lid = ("pod0/tor0", "pod0/agg0")
+        with pytest.raises(ValueError):
+            small_clos.set_corruption(lid, 1.5)
+        with pytest.raises(ValueError):
+            small_clos.set_corruption(lid, -0.1)
+
+    def test_clear_corruption_clears_both_directions(self, small_clos):
+        lid = ("pod0/tor0", "pod0/agg0")
+        small_clos.set_corruption(lid, 1e-3, Direction.UP)
+        small_clos.set_corruption(lid, 1e-4, Direction.DOWN)
+        small_clos.clear_corruption(lid)
+        assert small_clos.link(lid).max_corruption_rate() == 0.0
+
+
+class TestTraversal:
+    def test_downstream_tors_of_agg(self, small_clos):
+        tors = small_clos.downstream_tors("pod0/agg0")
+        assert tors == {"pod0/tor0", "pod0/tor1", "pod0/tor2"}
+
+    def test_downstream_tors_of_spine_spans_pods(self, small_clos):
+        tors = small_clos.downstream_tors("spine0")
+        assert len(tors) == 6  # plane wiring reaches every pod
+
+    def test_downstream_skips_disabled_links(self, small_clos):
+        small_clos.disable_link(("pod0/tor0", "pod0/agg0"))
+        tors = small_clos.downstream_tors("pod0/agg0")
+        assert "pod0/tor0" not in tors
+
+    def test_upstream_links_covers_both_tiers(self, small_clos):
+        links = small_clos.upstream_links(["pod0/tor0"])
+        # 2 tor-agg links + 2 aggs x 2 spine links each
+        assert len(links) == 2 + 4
+        assert ("pod0/tor0", "pod0/agg0") in links
+
+    def test_upstream_links_ignores_admin_state(self, small_clos):
+        lid = ("pod0/tor0", "pod0/agg0")
+        small_clos.disable_link(lid)
+        assert lid in small_clos.upstream_links(["pod0/tor0"])
+
+
+class TestInterop:
+    def test_copy_preserves_state(self, small_clos):
+        lid = ("pod0/tor0", "pod0/agg0")
+        small_clos.set_corruption(lid, 1e-3)
+        small_clos.disable_link(("pod1/tor0", "pod1/agg1"))
+        clone = small_clos.copy()
+        assert clone.num_links == small_clos.num_links
+        assert clone.link(lid).max_corruption_rate() == 1e-3
+        assert not clone.link(("pod1/tor0", "pod1/agg1")).enabled
+        # Mutating the clone must not touch the original.
+        clone.disable_link(lid)
+        assert small_clos.link(lid).enabled
+
+    def test_to_networkx_drops_disabled(self, small_clos):
+        small_clos.disable_link(("pod0/tor0", "pod0/agg0"))
+        graph = small_clos.to_networkx()
+        assert graph.number_of_edges() == small_clos.num_links - 1
+        assert graph.number_of_nodes() == small_clos.num_switches
