@@ -30,7 +30,7 @@ from repro.core.optimizer import (
     OptimizerStats,
     brute_force_optimal,
 )
-from repro.core.path_counting import PathCounter
+from repro.core.path_counting import PathCounter, PathCounterStats
 from repro.core.penalty import (
     PenaltyFn,
     linear_penalty,
@@ -66,6 +66,7 @@ __all__ = [
     "OptimizerResult",
     "OptimizerStats",
     "PathCounter",
+    "PathCounterStats",
     "PenaltyFn",
     "Recommendation",
     "RecommendationEngine",

@@ -50,7 +50,8 @@ class FastChecker:
         topo: The (live) topology; administrative state is read at call time.
         constraint: Per-ToR capacity constraints.
         counter: Optionally share a :class:`PathCounter` (e.g. with the
-            optimizer) to avoid recomputing the baseline.
+            optimizer or the simulation engine) to avoid recomputing the
+            baseline and to maintain a single incremental DP.
     """
 
     def __init__(
@@ -80,7 +81,14 @@ class FastChecker:
             # subtree was already cut off); disabling affects nobody.
             return FastCheckResult(link_id=link_id, allowed=True)
 
-        closure = self.counter.upstream_closure(affected)
+        # An incremental counter answers from its live counts plus a
+        # dirty-region overlay; the pruned-closure DP (and the closure
+        # itself) is only needed in recount-per-query mode.
+        closure = (
+            set()
+            if self.counter.incremental
+            else self.counter.upstream_closure(affected)
+        )
         fractions = self.counter.restricted_fractions(
             affected, closure, extra_disabled=frozenset({link_id})
         )

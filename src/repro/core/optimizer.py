@@ -226,7 +226,14 @@ class GlobalOptimizer:
         if not tors:
             # No at-risk ToR depends on these links: all can go.
             return set(links)
-        closure = self.counter.upstream_closure(tors)
+        # The pruned closure is only needed when the counter reruns the DP
+        # per query; an incremental counter evaluates candidate subsets as
+        # dirty-region overlays on its live counts.
+        closure = (
+            set()
+            if self.counter.incremental
+            else self.counter.upstream_closure(tors)
+        )
 
         def feasible(subset: FrozenSet[LinkId]) -> bool:
             stats.feasibility_checks += 1

@@ -16,6 +16,7 @@ extreme cases").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -71,20 +72,43 @@ class SwitchLocalChecker:
         self.sc = sc
 
     def max_disabled(self, switch: str) -> int:
-        """How many of ``switch``'s uplinks may be disabled in total."""
+        """How many of ``switch``'s uplinks may be disabled in total.
+
+        Exactly ``floor(m * (1 - sc)) = m - ceil(m * sc)``, computed with an
+        epsilon guard so exact-threshold cases (``m * sc`` a whole number,
+        e.g. ``sc = c ** (1/r)`` landing on 0.7 or 0.8) do not float-round
+        across the integer boundary.
+        """
         m = len(self._topo.uplinks(switch))
-        return int(m * (1.0 - self.sc))
+        required = math.ceil(m * self.sc - 1e-9)
+        return m - min(m, max(0, required))
 
     def check(self, link_id: LinkId) -> SwitchLocalResult:
-        """Decide whether the lower switch can afford to lose this uplink."""
+        """Decide whether the lower switch can afford to lose this uplink.
+
+        A link that is already disabled (or drained) is *already mitigated*
+        and reported as ``allowed`` without consuming any uplink budget —
+        the same semantics as :meth:`FastChecker.check`, so strategy-level
+        comparisons count onsets on mitigated links identically.
+        """
         link = self._topo.link(link_id)
         switch = link.lower
         uplinks = self._topo.uplinks(switch)
         m = len(uplinks)
         active = sum(1 for lid in uplinks if self._topo.link(lid).enabled)
+        max_disabled = self.max_disabled(switch)
+        required_active = m - max_disabled
+        if not link.enabled:
+            # Already mitigated; trivially allowed (no re-disable needed).
+            return SwitchLocalResult(
+                link_id=link_id,
+                allowed=True,
+                switch=switch,
+                active_uplinks=active,
+                required_active=required_active,
+            )
         disabled = m - active
-        allowed = link.enabled and disabled + 1 <= self.max_disabled(switch)
-        required_active = m - self.max_disabled(switch)
+        allowed = disabled + 1 <= max_disabled
         return SwitchLocalResult(
             link_id=link_id,
             allowed=allowed,
@@ -96,7 +120,7 @@ class SwitchLocalChecker:
     def check_and_disable(self, link_id: LinkId) -> SwitchLocalResult:
         """Run :meth:`check` and disable the link when allowed."""
         result = self.check(link_id)
-        if result.allowed:
+        if result.allowed and self._topo.link(link_id).enabled:
             self._topo.disable_link(link_id)
         return result
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.path_counting import PathCounter
-from repro.core.penalty import PenaltyFn, linear_penalty, total_penalty
+from repro.core.penalty import PenaltyFn, linear_penalty
 from repro.simulation.metrics import SimulationMetrics
 from repro.simulation.strategies import MitigationStrategy
 from repro.ticketing.queue import TechnicianPoolQueue
@@ -107,10 +107,26 @@ class MitigationSimulation:
         self.track_capacity = track_capacity
         self.full_repair_cycles = full_repair_cycles
         self.metrics = SimulationMetrics()
-        self._counter = PathCounter(topo) if track_capacity else None
-        self._rates: Dict[LinkId, float] = {}
+        self._counter: Optional[PathCounter] = None
+        if track_capacity:
+            # Share the strategy's counter when it has one bound to this
+            # topology (CorrOpt / fast-checker strategies do), so the run
+            # maintains a single incremental DP instead of several.
+            shared = getattr(strategy, "counter", None)
+            if isinstance(shared, PathCounter) and shared.topo is topo:
+                self._counter = shared
+            else:
+                self._counter = PathCounter(topo)
+        # Links with an outstanding fault, in onset order.  Doubles as the
+        # penalty support set: the total penalty only ranges over these, so
+        # a snapshot costs O(#corrupting links) instead of O(|E|).
+        self._rates: Dict[LinkId, float] = {
+            lid: topo.link(lid).max_corruption_rate()
+            for lid in topo.corrupting_links()
+        }
         self._tiebreak = itertools.count()
         self._pool: Optional[TechnicianPoolQueue] = None
+        self._next_pool_check: Optional[float] = None
         if technician_pool is not None:
             self._pool = TechnicianPoolQueue(
                 num_technicians=technician_pool,
@@ -119,16 +135,24 @@ class MitigationSimulation:
 
     # ------------------------------------------------------------------ #
 
+    def _current_penalty(self) -> float:
+        """§5.1's ``sum_l (1 - d_l) * I(f_l)`` over the outstanding faults."""
+        topo = self.topo
+        total = 0.0
+        for lid in self._rates:
+            link = topo.link(lid)
+            if link.enabled and link.is_corrupting():
+                total += self.penalty_fn(link.max_corruption_rate())
+        return total
+
     def _snapshot(self, time_s: float) -> None:
-        self.metrics.penalty.record(
-            time_s, total_penalty(self.topo, self.penalty_fn)
-        )
+        self.metrics.penalty.record(time_s, self._current_penalty())
         if self._counter is not None:
-            fractions = self._counter.tor_fractions()
-            values = list(fractions.values())
-            self.metrics.worst_tor_fraction.record(time_s, min(values))
+            self.metrics.worst_tor_fraction.record(
+                time_s, self._counter.worst_tor_fraction()
+            )
             self.metrics.average_tor_fraction.record(
-                time_s, sum(values) / len(values)
+                time_s, self._counter.average_tor_fraction()
             )
 
     def _schedule_repair(self, heap, time_s: float, link_id: LinkId) -> None:
@@ -145,14 +169,34 @@ class MitigationSimulation:
         heapq.heappush(heap, (done, _REPAIR, next(self._tiebreak), link_id))
 
     def _schedule_pool_check(self, heap) -> None:
+        """Schedule a wake-up at the pool's next completion time.
+
+        At most one check is outstanding: a new one is pushed only when the
+        next completion precedes the currently scheduled wake-up (duplicate
+        entries for the same completion would pop as empty drains).
+        """
         completion = self._pool.next_completion()
-        if completion is not None:
-            heapq.heappush(
-                heap, (completion, _POOL_CHECK, next(self._tiebreak), None)
-            )
+        if completion is None:
+            return
+        if (
+            self._next_pool_check is not None
+            and completion >= self._next_pool_check
+        ):
+            return
+        self._next_pool_check = completion
+        heapq.heappush(
+            heap, (completion, _POOL_CHECK, next(self._tiebreak), None)
+        )
 
     def run(self) -> SimulationResult:
-        """Execute the full trace; returns the recorded metrics."""
+        """Execute the full trace; returns the recorded metrics.
+
+        Events are processed to the end of the heap — repairs landing after
+        ``trace.duration_days`` still restore the topology — but the metric
+        series only record samples inside the run window ``[0, duration]``,
+        keeping ``StepSeries.min_value()``/``changes()`` consistent with
+        ``penalty_integral`` (which clips to the same window).
+        """
         heap = []
         for event in self.trace.events:
             heapq.heappush(
@@ -168,7 +212,8 @@ class MitigationSimulation:
                 self._handle_pool_check(heap, time_s)
             else:
                 self._handle_repair_completion(heap, time_s, payload)
-            self._snapshot(time_s)
+            if time_s <= duration_s:
+                self._snapshot(time_s)
 
         return SimulationResult(
             strategy_name=self.strategy.name,
@@ -200,6 +245,7 @@ class MitigationSimulation:
         """Drain finished technician visits; failed repairs re-enter the
         queue for another service round (each failed attempt adds another
         full service time, §5.2)."""
+        self._next_pool_check = None
         for ticket in self._pool.pop_due(time_s):
             if self.rng.random() < self.repair_accuracy:
                 self.topo.clear_corruption(ticket.link_id)
@@ -250,6 +296,9 @@ def run_comparison(
     seed: int = 0,
     track_capacity: bool = True,
     penalty_fn: Optional[PenaltyFn] = None,
+    service_days: float = 2.0,
+    full_repair_cycles: bool = False,
+    technician_pool: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
     """Run the same trace under several strategies on fresh topology copies.
 
@@ -263,6 +312,12 @@ def run_comparison(
         seed: Shared repair RNG seed.
         track_capacity: Record ToR-fraction series.
         penalty_fn: Penalty function (default linear).
+        service_days: Ticket service time per attempt, forwarded to every
+            run (§5.2's two days by default).
+        full_repair_cycles: Simulate failed repairs as re-enable →
+            re-detect → re-disable cycles, forwarded to every run.
+        technician_pool: Optional technician-pool size, forwarded to every
+            run (ablations that vary the repair model route through here).
 
     Returns:
         Mapping name → result.
@@ -279,6 +334,9 @@ def run_comparison(
             seed=seed,
             track_capacity=track_capacity,
             penalty_fn=penalty_fn or linear_penalty,
+            service_days=service_days,
+            full_repair_cycles=full_repair_cycles,
+            technician_pool=technician_pool,
         )
         results[name] = sim.run()
     return results

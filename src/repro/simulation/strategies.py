@@ -33,9 +33,15 @@ from repro.topology.graph import Topology
 
 
 class MitigationStrategy:
-    """Interface; see module docstring."""
+    """Interface; see module docstring.
+
+    Strategies that count paths expose their :class:`PathCounter` as
+    ``counter`` so the simulation engine can share it (one incremental DP
+    per run) instead of constructing its own.
+    """
 
     name = "abstract"
+    counter: Optional[PathCounter] = None
 
     def on_onset(self, link_id: LinkId) -> bool:
         """Return True (and disable the link) when it can safely go down."""
@@ -78,7 +84,8 @@ class FastCheckerOnlyStrategy(MitigationStrategy):
 
     def __init__(self, topo: Topology, constraint: CapacityConstraint):
         self.topo = topo
-        self.fast_checker = FastChecker(topo, constraint)
+        self.counter = PathCounter(topo)
+        self.fast_checker = FastChecker(topo, constraint, counter=self.counter)
 
     def on_onset(self, link_id: LinkId) -> bool:
         return self.fast_checker.check_and_disable(link_id).allowed

@@ -13,7 +13,7 @@ structure, so the optimizer can evaluate hypothetical disable-sets cheaply.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.topology.elements import (
     Direction,
@@ -51,6 +51,13 @@ class Topology:
         self._stages: List[List[str]] = [[] for _ in range(num_stages)]
         self._uplinks: Dict[str, List[LinkId]] = {}
         self._downlinks: Dict[str, List[LinkId]] = {}
+        # Observers.  Admin listeners fire whenever a link's *effective*
+        # enabled-ness flips (enable/disable/drain through the methods
+        # below); structure listeners fire on add_switch/add_link.  This is
+        # what lets PathCounter maintain its DP incrementally instead of
+        # recounting the topology on every query.
+        self._admin_listeners: List[Callable[[LinkId], None]] = []
+        self._structure_listeners: List[Callable[[], None]] = []
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -69,6 +76,7 @@ class Topology:
         self._stages[switch.stage].append(switch.name)
         self._uplinks[switch.name] = []
         self._downlinks[switch.name] = []
+        self._notify_structure()
 
     def add_link(
         self,
@@ -96,7 +104,50 @@ class Topology:
         self._links[link_id] = link
         self._uplinks[lower].append(link_id)
         self._downlinks[upper].append(link_id)
+        self._notify_structure()
         return link_id
+
+    # ------------------------------------------------------------------ #
+    # Observers
+    # ------------------------------------------------------------------ #
+
+    def subscribe_admin_changes(
+        self, callback: Callable[[LinkId], None]
+    ) -> None:
+        """Register ``callback(link_id)`` for effective link-state flips.
+
+        The callback fires *after* the state change, and only when the
+        link's ``enabled`` property actually flipped (e.g. DISABLED →
+        DRAINED does not fire).  :class:`~repro.core.path_counting.PathCounter`
+        uses this to keep its path counts live.
+        """
+        self._admin_listeners.append(callback)
+
+    def unsubscribe_admin_changes(
+        self, callback: Callable[[LinkId], None]
+    ) -> None:
+        """Remove a previously registered admin-change callback."""
+        if callback in self._admin_listeners:
+            self._admin_listeners.remove(callback)
+
+    def subscribe_structure_changes(self, callback: Callable[[], None]) -> None:
+        """Register ``callback()`` for switch/link additions."""
+        self._structure_listeners.append(callback)
+
+    def unsubscribe_structure_changes(
+        self, callback: Callable[[], None]
+    ) -> None:
+        """Remove a previously registered structure-change callback."""
+        if callback in self._structure_listeners:
+            self._structure_listeners.remove(callback)
+
+    def _notify_admin(self, link_id: LinkId) -> None:
+        for callback in list(self._admin_listeners):
+            callback(link_id)
+
+    def _notify_structure(self) -> None:
+        for callback in list(self._structure_listeners):
+            callback()
 
     # ------------------------------------------------------------------ #
     # Lookup
@@ -182,17 +233,26 @@ class Topology:
     # Administrative state
     # ------------------------------------------------------------------ #
 
+    def _set_link_state(self, link_id: LinkId, state: LinkState) -> None:
+        link = self._links[link_id]
+        if link.state is state:
+            return
+        flipped = link.enabled != (state is LinkState.ENABLED)
+        link.state = state
+        if flipped:
+            self._notify_admin(link_id)
+
     def disable_link(self, link_id: LinkId) -> None:
         """Administratively disable a link (both directions; §3 fn. 3)."""
-        self._links[link_id].state = LinkState.DISABLED
+        self._set_link_state(link_id, LinkState.DISABLED)
 
     def enable_link(self, link_id: LinkId) -> None:
         """Re-enable a link after repair."""
-        self._links[link_id].state = LinkState.ENABLED
+        self._set_link_state(link_id, LinkState.ENABLED)
 
     def drain_link(self, link_id: LinkId) -> None:
         """§8 extension: remove traffic without turning the link off."""
-        self._links[link_id].state = LinkState.DRAINED
+        self._set_link_state(link_id, LinkState.DRAINED)
 
     def disabled_links(self) -> Set[LinkId]:
         """Ids of links not currently carrying traffic."""

@@ -75,6 +75,97 @@ class TestBudget:
         assert checker.check_and_disable(("pod0/tor1", "pod0/agg0")).allowed
 
 
+class TestBudgetFloatBoundaries:
+    """``max_disabled`` must be exactly ``floor(m * (1 - sc))``.
+
+    The old ``int(m * (1.0 - sc))`` truncation lost a whole disable
+    whenever ``1 - sc`` rounded just below the true value (e.g.
+    ``1 - 0.9 = 0.09999999999999998``), which silently tightened the
+    baseline and skewed strategy comparisons.
+    """
+
+    def _checker(self, m, sc):
+        topo = build_clos(1, 1, m, m * m)
+        return SwitchLocalChecker(topo, CapacityConstraint(0.5), sc=sc)
+
+    def test_sc_09_m_10(self):
+        # floor(10 * 0.1) = 1; naive float truncation gives int(0.999...) = 0.
+        assert self._checker(10, 0.9).max_disabled("pod0/tor0") == 1
+
+    def test_sc_08_m_5(self):
+        # floor(5 * 0.2) = 1; naive gives int(0.999...) = 0.
+        assert self._checker(5, 0.8).max_disabled("pod0/tor0") == 1
+
+    def test_derived_sc_hitting_whole_number(self):
+        # c = 0.49, r = 2 -> sc = sqrt(0.49) = 0.7000000000000001; with
+        # m = 10 the exact budget is floor(10 * 0.3) = 3, but the naive
+        # truncation of 10 * 0.29999999999999993 gives 2.
+        topo = build_clos(1, 1, 10, 100)
+        checker = SwitchLocalChecker(topo, CapacityConstraint(0.49))
+        assert checker.sc == pytest.approx(0.7)
+        assert checker.max_disabled("pod0/tor0") == 3
+
+    def test_exact_thresholds_small_m(self):
+        # Cases where m * sc is a whole number: budget must not jump the
+        # integer boundary in either direction.
+        for m, sc, expected in [
+            (4, 0.5, 2),
+            (4, 0.75, 1),
+            (3, 1.0, 0),
+            (3, 0.0, 3),
+            (8, 0.25, 6),
+        ]:
+            assert (
+                self._checker(m, sc).max_disabled("pod0/tor0") == expected
+            ), (m, sc)
+
+    def test_budget_usable_in_check(self):
+        # With sc = 0.9 and 10 uplinks one disable is genuinely admissible;
+        # the old truncation rejected it.
+        checker = self._checker(10, 0.9)
+        assert checker.check_and_disable(("pod0/tor0", "pod0/agg0")).allowed
+        assert not checker.check(("pod0/tor0", "pod0/agg1")).allowed
+
+
+class TestAlreadyDisabledHarmonized:
+    """A disabled link is already mitigated: ``check`` reports allowed
+    (matching :class:`FastChecker`) and consumes no budget."""
+
+    def test_disabled_link_is_allowed(self, medium_clos):
+        from repro.core import FastChecker
+
+        constraint = CapacityConstraint(0.5)
+        local = SwitchLocalChecker(medium_clos, constraint, sc=0.5)
+        exact = FastChecker(medium_clos, constraint)
+        lid = ("pod0/tor0", "pod0/agg0")
+        medium_clos.disable_link(lid)
+        assert local.check(lid).allowed
+        assert exact.check(lid).allowed  # the two checkers agree
+
+    def test_no_redisable_side_effects(self, medium_clos):
+        local = SwitchLocalChecker(
+            medium_clos, CapacityConstraint(0.5), sc=0.5
+        )
+        lid = ("pod0/tor0", "pod0/agg0")
+        medium_clos.drain_link(lid)
+        result = local.check_and_disable(lid)
+        assert result.allowed
+        # Drained stays drained: no spurious DRAINED -> DISABLED flip.
+        from repro.topology import LinkState
+
+        assert medium_clos.link(lid).state is LinkState.DRAINED
+
+    def test_reevaluate_skips_disabled(self, medium_clos):
+        local = SwitchLocalChecker(
+            medium_clos, CapacityConstraint(0.5), sc=0.5
+        )
+        lid = ("pod0/tor0", "pod0/agg0")
+        medium_clos.set_corruption(lid, 1e-3)
+        medium_clos.disable_link(lid)
+        # Already-mitigated links are not "newly disabled" on re-evaluation.
+        assert local.reevaluate() == []
+
+
 class TestSuboptimality:
     def test_misses_links_fast_checker_allows(self):
         """The conservative sc = sqrt(c) rejects disables that exact path
