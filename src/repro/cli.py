@@ -5,6 +5,8 @@ Subcommands mirror the system's operational surfaces:
 - ``topology``  — build a Clos/fat-tree topology and save it as JSON;
 - ``study``     — run the §2–3 measurement study and print its statistics;
 - ``simulate``  — replay a corruption trace under a mitigation strategy;
+- ``chaos``     — closed-loop run with telemetry faults injected into the
+  monitoring path (sanitizer + fail-safe controller in the loop);
 - ``recommend`` — run Algorithm 1 on one link's observed symptoms;
 - ``gadget``    — build the Appendix-A reduction for a random 3-SAT
   instance and solve it with the optimizer.
@@ -105,6 +107,71 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import TelemetryFaultConfig
+    from repro.simulation import chaos_preset, chaos_scenario, run_chaos_scenario
+
+    if args.preset is not None:
+        config = chaos_preset(args.preset, seed=args.fault_seed)
+    else:
+        config = TelemetryFaultConfig(
+            seed=args.fault_seed,
+            missed_poll_rate=args.missed_polls,
+            wrap_32bit=args.wrap_32bit,
+            reset_rate=args.resets,
+            freeze_rate=args.freezes,
+            duplicate_rate=args.duplicates,
+            delay_rate=args.delays,
+            optical_garbage_rate=args.garbage_optics,
+        )
+    scenario = chaos_scenario(
+        scale=args.scale,
+        duration_days=args.days,
+        seed=args.seed,
+        capacity=args.capacity,
+    )
+    result = run_chaos_scenario(
+        scenario,
+        config,
+        repair_accuracy=args.repair_accuracy,
+        seed=args.seed,
+    )
+    metrics, chaos = result.metrics, result.chaos
+    print(
+        f"chaos run: medium DCN (scale {args.scale}), c={args.capacity:.0%}, "
+        f"{args.days} days, faults={'preset ' + args.preset if args.preset else 'custom'}"
+    )
+    print(
+        f"polls: {chaos.polls} ticks, {chaos.missed_polls} per-direction "
+        f"misses, {chaos.degraded_samples} degraded samples"
+    )
+    print(
+        f"ground truth: {metrics.onsets} onsets, "
+        f"{chaos.detections} detected "
+        f"(mean delay {chaos.mean_detection_delay_polls():.1f} polls), "
+        f"{chaos.missed_mitigations} never detected"
+    )
+    print(
+        f"mitigation: {metrics.disabled_on_onset} disabled on report, "
+        f"{metrics.disabled_on_activation} on activation, "
+        f"{metrics.kept_active_on_onset} kept by capacity, "
+        f"{metrics.repairs_completed} repairs"
+    )
+    print(
+        f"degraded mode: {chaos.decisions_in_degraded_mode} decisions, "
+        f"quarantined peak {chaos.quarantined_peak} directions, "
+        f"{chaos.false_disables} false disables"
+    )
+    print(f"penalty integral: {result.penalty_integral:.3e}")
+    print(
+        "invariants: "
+        f"quarantine violations {chaos.quarantine_violations}, "
+        f"capacity violations {chaos.capacity_violations} "
+        f"-> {'OK' if result.invariants_ok() else 'VIOLATED'}"
+    )
+    return 0 if result.invariants_ok() else 1
+
+
 def _cmd_recommend(args: argparse.Namespace) -> int:
     from repro.core import LinkObservation, deployed_engine, full_engine
     from repro.optics import TECHNOLOGIES
@@ -196,6 +263,29 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--events", type=float, default=15.0)
     sim.add_argument("--repair-accuracy", type=float, default=0.8)
     sim.set_defaults(func=_cmd_simulate)
+
+    chaos = sub.add_parser(
+        "chaos", help="closed-loop run with telemetry faults"
+    )
+    chaos.add_argument(
+        "--preset",
+        choices=["none", "mild", "harsh", "reboot-storm", "flaky-collector"],
+        help="named fault mix (overrides the individual rate flags)",
+    )
+    chaos.add_argument("--missed-polls", type=float, default=0.0)
+    chaos.add_argument("--resets", type=float, default=0.0)
+    chaos.add_argument("--freezes", type=float, default=0.0)
+    chaos.add_argument("--duplicates", type=float, default=0.0)
+    chaos.add_argument("--delays", type=float, default=0.0)
+    chaos.add_argument("--garbage-optics", type=float, default=0.0)
+    chaos.add_argument("--wrap-32bit", action="store_true")
+    chaos.add_argument("--days", type=float, default=4.0)
+    chaos.add_argument("--scale", type=float, default=0.12)
+    chaos.add_argument("--capacity", type=float, default=0.75)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--fault-seed", type=int, default=0)
+    chaos.add_argument("--repair-accuracy", type=float, default=0.8)
+    chaos.set_defaults(func=_cmd_chaos)
 
     rec = sub.add_parser("recommend", help="Algorithm 1 on one link")
     rec.add_argument("--rate", type=float, default=1e-3)

@@ -47,6 +47,14 @@ from repro.core.recommendation import (
     deployed_engine,
     full_engine,
 )
+from repro.core.resilience import (
+    AuditLog,
+    AuditRecord,
+    BreakerState,
+    CircuitBreaker,
+    OnsetDebouncer,
+    retry_with_backoff,
+)
 from repro.core.segmentation import Segment, segment_links, segmentation_summary
 from repro.core.switch_local import (
     SwitchLocalChecker,
@@ -55,8 +63,14 @@ from repro.core.switch_local import (
 )
 
 __all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "BreakerState",
     "CapacityConstraint",
+    "CircuitBreaker",
     "ControllerDecision",
+    "OnsetDebouncer",
+    "retry_with_backoff",
     "ControllerLog",
     "CorrOptController",
     "FastCheckResult",

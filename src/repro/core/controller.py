@@ -1,4 +1,4 @@
-"""The CorrOpt controller (Figure 13 workflow).
+"""The CorrOpt controller (Figure 13 workflow), hardened for bad inputs.
 
 Wires the decision components together:
 
@@ -9,15 +9,30 @@ Wires the decision components together:
   active corrupting links.
 
 The controller is deliberately free of wall-clock concerns: the simulation
-engine (or a real deployment harness) drives it with events and owns the
-ticket queue.  Hooks (``on_disable`` / ``on_keep_active``) let callers
+engine (or a real deployment harness) drives it with events and explicit
+timestamps, and owns the ticket queue.  Hooks (``on_disable``) let callers
 observe decisions without subclassing.
+
+Hardening (all opt-in, defaults preserve the original behaviour):
+
+- **Fail-safe rule** — when a link's telemetry is quarantined
+  (``quarantine_fn``) or a check raises, the link is *kept active*: we
+  never disable on untrusted data, and the degraded decision lands in the
+  structured :class:`~repro.core.resilience.AuditLog`.
+- **Debounce/hysteresis** — an :class:`~repro.core.resilience.
+  OnsetDebouncer` requires corruption onsets to be confirmed before any
+  link state changes, so sensor flaps cannot churn links.
+- **Optimizer protection** — the global optimization on activation runs
+  under retry-with-backoff and a :class:`~repro.core.resilience.
+  CircuitBreaker`; when the breaker is open the controller degrades to
+  fast-checker-only mode instead of failing.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.constraints import CapacityConstraint
 from repro.core.fast_checker import FastChecker, FastCheckResult
@@ -30,30 +45,71 @@ from repro.core.recommendation import (
     RecommendationEngine,
     full_engine,
 )
+from repro.core.resilience import (
+    AuditLog,
+    CircuitBreaker,
+    OnsetDebouncer,
+    retry_with_backoff,
+)
 from repro.topology.elements import Direction, LinkId
 from repro.topology.graph import Topology
 
 
 @dataclass
 class ControllerDecision:
-    """What the controller did with one corruption report."""
+    """What the controller did with one corruption report.
+
+    Attributes:
+        link_id: The reported link.
+        disabled: Whether the link was disabled.
+        fast_check: The fast checker's verdict (``None`` when the pipeline
+            never reached it: quarantined telemetry, debounce pending, or
+            a check error).
+        recommendation: Repair recommendation when disabled.
+        degraded: Whether this decision was made in degraded mode
+            (fail-safe keep, or fallback path).
+        reason: Why a non-disable decision was taken.
+    """
 
     link_id: LinkId
     disabled: bool
-    fast_check: FastCheckResult
+    fast_check: Optional[FastCheckResult] = None
     recommendation: Optional[Recommendation] = None
+    degraded: bool = False
+    reason: str = ""
 
 
 @dataclass
 class ControllerLog:
-    """Counters summarizing controller activity (exposed for dashboards)."""
+    """Counters summarizing controller activity (exposed for dashboards).
+
+    Aggregate counters are exact over arbitrarily long runs; the per-
+    decision record is a ring buffer bounded by ``max_decisions``
+    (``None`` = unbounded, the historical behaviour).
+    """
 
     reports: int = 0
     disabled_by_fast_checker: int = 0
     kept_by_capacity: int = 0
     activations: int = 0
     disabled_by_optimizer: int = 0
-    decisions: List[ControllerDecision] = field(default_factory=list)
+    fail_safe_keeps: int = 0
+    debounced: int = 0
+    optimizer_failures: int = 0
+    optimizer_fallbacks: int = 0
+    total_decisions: int = 0
+    max_decisions: Optional[int] = None
+    decisions: Deque[ControllerDecision] = field(default_factory=deque)
+
+    def __post_init__(self):
+        if self.max_decisions is not None and self.max_decisions < 1:
+            raise ValueError("max_decisions must be >= 1 (or None)")
+        self.decisions = deque(self.decisions, maxlen=self.max_decisions)
+
+    def record_decision(self, decision: ControllerDecision) -> None:
+        """Append to the (possibly bounded) ring; exact count regardless."""
+        self.decisions.append(decision)
+        self.total_decisions += 1
 
 
 class CorrOptController:
@@ -70,6 +126,17 @@ class CorrOptController:
             without it tickets carry no recommendation.
         on_disable: Hook invoked with (link_id, recommendation) whenever any
             component disables a link.
+        quarantine_fn: Optional ``link_id -> bool``.  When it returns True
+            the link's telemetry is untrusted and the controller will
+            *never* disable that link (fail-safe rule) — reports are kept
+            active and the optimizer excludes it from its candidates.
+        debouncer: Optional onset debouncer; reports only reach the fast
+            checker once the debouncer confirms the onset.
+        optimizer_breaker: Optional circuit breaker around the global
+            optimizer; while open, activations use fast-checker-only mode.
+        optimizer_attempts: Attempts per optimizer run (retry w/ backoff).
+        max_decisions: Bound on the per-decision ring buffer.
+        audit: Structured audit log (created on demand when omitted).
     """
 
     def __init__(
@@ -84,7 +151,15 @@ class CorrOptController:
         on_disable: Optional[
             Callable[[LinkId, Optional[Recommendation]], None]
         ] = None,
+        quarantine_fn: Optional[Callable[[LinkId], bool]] = None,
+        debouncer: Optional[OnsetDebouncer] = None,
+        optimizer_breaker: Optional[CircuitBreaker] = None,
+        optimizer_attempts: int = 1,
+        max_decisions: Optional[int] = None,
+        audit: Optional[AuditLog] = None,
     ):
+        if optimizer_attempts < 1:
+            raise ValueError("optimizer_attempts must be >= 1")
         self.topo = topo
         self.constraint = constraint
         self.counter = PathCounter(topo)
@@ -95,7 +170,12 @@ class CorrOptController:
         self.recommender = recommender or full_engine()
         self.observation_provider = observation_provider
         self.on_disable = on_disable
-        self.log = ControllerLog()
+        self.quarantine_fn = quarantine_fn
+        self.debouncer = debouncer
+        self.optimizer_breaker = optimizer_breaker
+        self.optimizer_attempts = optimizer_attempts
+        self.audit = audit or AuditLog()
+        self.log = ControllerLog(max_decisions=max_decisions)
 
     # ------------------------------------------------------------------ #
 
@@ -110,20 +190,71 @@ class CorrOptController:
             self.on_disable(link_id, recommendation)
         return recommendation
 
+    def _quarantined(self, link_id: LinkId) -> bool:
+        return self.quarantine_fn is not None and self.quarantine_fn(link_id)
+
+    def _fail_safe_decision(
+        self, link_id: LinkId, time_s: float, event: str, detail: str
+    ) -> ControllerDecision:
+        """Keep the link active and audit why (never disable on untrusted
+        data)."""
+        self.log.fail_safe_keeps += 1
+        self.audit.record(
+            time_s, event, link_id=link_id, detail=detail, fail_safe=True
+        )
+        decision = ControllerDecision(
+            link_id=link_id, disabled=False, degraded=True, reason=event
+        )
+        self.log.record_decision(decision)
+        return decision
+
     def report_corruption(
         self,
         link_id: LinkId,
         rate: float,
         direction: Direction = Direction.UP,
+        time_s: float = 0.0,
     ) -> ControllerDecision:
         """Handle a new corruption report from a switch.
 
         Records the rate on the topology, runs the fast checker, disables
-        when safe, and issues a recommendation for the ticket.
+        when safe, and issues a recommendation for the ticket.  Reports on
+        quarantined telemetry, unconfirmed (debounced) onsets, and checker
+        errors all resolve to fail-safe keep-active decisions.
         """
         self.log.reports += 1
+
+        if self._quarantined(link_id):
+            # Fail-safe: the report itself is untrusted — don't write the
+            # rate into the ground-truth state, don't touch the link.
+            return self._fail_safe_decision(
+                link_id,
+                time_s,
+                "quarantined-report",
+                f"rate {rate:.2e} arrived on quarantined telemetry",
+            )
+
         self.topo.set_corruption(link_id, rate, direction)
-        result = self.fast_checker.check_and_disable(link_id)
+
+        if self.debouncer is not None and not self.debouncer.update(
+            link_id, rate, time_s
+        ):
+            self.log.debounced += 1
+            decision = ControllerDecision(
+                link_id=link_id,
+                disabled=False,
+                reason="debounce-pending",
+            )
+            self.log.record_decision(decision)
+            return decision
+
+        try:
+            result = self.fast_checker.check_and_disable(link_id)
+        except Exception as exc:  # noqa: BLE001 — fail safe on any checker error
+            return self._fail_safe_decision(
+                link_id, time_s, "fast-check-error", repr(exc)
+            )
+
         recommendation = None
         if result.allowed:
             self.log.disabled_by_fast_checker += 1
@@ -135,12 +266,46 @@ class CorrOptController:
             disabled=result.allowed,
             fast_check=result,
             recommendation=recommendation,
+            reason="" if result.allowed else "capacity-constraint",
         )
-        self.log.decisions.append(decision)
+        self.log.record_decision(decision)
         return decision
 
+    # ------------------------------------------------------------------ #
+    # Activation path
+    # ------------------------------------------------------------------ #
+
+    def _optimizer_candidates(self) -> List[LinkId]:
+        """Enabled corrupting links whose telemetry is trusted."""
+        return [
+            lid
+            for lid in self.topo.corrupting_links()
+            if not self._quarantined(lid)
+        ]
+
+    def _fallback_sweep(self, candidates: List[LinkId]) -> OptimizerResult:
+        """Fast-checker-only degraded mode (breaker open / optimizer down)."""
+        self.log.optimizer_fallbacks += 1
+        try:
+            results = self.fast_checker.sweep(candidates)
+        except Exception as exc:  # noqa: BLE001 — fail safe: disable nothing
+            self.audit.record(
+                0.0,
+                "fallback-sweep-error",
+                detail=repr(exc),
+                fail_safe=True,
+            )
+            return OptimizerResult()
+        return OptimizerResult(
+            to_disable={r.link_id for r in results if r.allowed},
+            kept_active={r.link_id for r in results if not r.allowed},
+        )
+
     def activate_link(
-        self, link_id: LinkId, repaired: bool = True
+        self,
+        link_id: LinkId,
+        repaired: bool = True,
+        time_s: float = 0.0,
     ) -> OptimizerResult:
         """Bring a link back into service and re-optimize.
 
@@ -149,16 +314,67 @@ class CorrOptController:
             repaired: Whether the repair succeeded.  A failed repair leaves
                 the corruption rate in place (the link will typically be
                 re-disabled, Figure 12).
+            time_s: Activation timestamp (drives breaker recovery).
 
         Returns:
-            The optimizer's result over the now-current corrupting set.
+            The applied result over the now-current corrupting set.  In
+            degraded mode this is the fast-checker sweep's outcome.
         """
         self.log.activations += 1
         if repaired:
             self.topo.clear_corruption(link_id)
+            if self.debouncer is not None:
+                self.debouncer.clear(link_id)
         self.topo.enable_link(link_id)
-        result = self.optimizer.optimize()
+
+        candidates = self._optimizer_candidates()
+        breaker = self.optimizer_breaker
+        if breaker is not None and not breaker.allow(time_s):
+            self.audit.record(
+                time_s,
+                "optimizer-breaker-open",
+                detail="degraded to fast-checker-only mode",
+            )
+            result = self._fallback_sweep(candidates)
+            # The sweep already applied its disables.
+            for lid in sorted(result.to_disable):
+                self.log.disabled_by_optimizer += 1
+                self._announce_disable(lid)
+            return result
+
+        try:
+            result = retry_with_backoff(
+                lambda: self.optimizer.plan(candidates),
+                attempts=self.optimizer_attempts,
+            )
+        except Exception as exc:  # noqa: BLE001 — degrade, never crash
+            self.log.optimizer_failures += 1
+            if breaker is not None:
+                breaker.record_failure(time_s)
+            self.audit.record(
+                time_s, "optimizer-error", detail=repr(exc)
+            )
+            result = self._fallback_sweep(candidates)
+            for lid in sorted(result.to_disable):
+                self.log.disabled_by_optimizer += 1
+                self._announce_disable(lid)
+            return result
+
+        if breaker is not None:
+            breaker.record_success()
         for lid in sorted(result.to_disable):
+            if self._quarantined(lid):
+                # Quarantine may have tripped between candidate selection
+                # and application; the fail-safe rule wins.
+                self.log.fail_safe_keeps += 1
+                self.audit.record(
+                    time_s,
+                    "quarantined-optimizer-choice",
+                    link_id=lid,
+                    fail_safe=True,
+                )
+                continue
+            self.topo.disable_link(lid)
             self.log.disabled_by_optimizer += 1
             self._announce_disable(lid)
         return result

@@ -8,14 +8,22 @@
 - scenario presets for the medium/large DCNs.
 """
 
+from repro.simulation.chaos import (
+    CHAOS_PRESETS,
+    ChaosResult,
+    ChaosSimulation,
+    chaos_preset,
+    run_chaos_scenario,
+)
 from repro.simulation.engine import (
     MitigationSimulation,
     SimulationResult,
     run_comparison,
 )
-from repro.simulation.metrics import SimulationMetrics, StepSeries
+from repro.simulation.metrics import ChaosMetrics, SimulationMetrics, StepSeries
 from repro.simulation.scenarios import (
     Scenario,
+    chaos_scenario,
     large_scenario,
     make_scenario,
     medium_scenario,
@@ -32,6 +40,10 @@ from repro.simulation.strategies import (
 )
 
 __all__ = [
+    "CHAOS_PRESETS",
+    "ChaosMetrics",
+    "ChaosResult",
+    "ChaosSimulation",
     "CorrOptStrategy",
     "DrainStrategy",
     "FastCheckerOnlyStrategy",
@@ -43,9 +55,12 @@ __all__ = [
     "SimulationResult",
     "StepSeries",
     "SwitchLocalStrategy",
+    "chaos_preset",
+    "chaos_scenario",
     "large_scenario",
     "make_scenario",
     "medium_scenario",
+    "run_chaos_scenario",
     "run_comparison",
     "run_scenario",
     "standard_strategies",

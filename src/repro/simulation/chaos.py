@@ -1,0 +1,367 @@
+"""Closed-loop chaos simulation: CorrOpt with telemetry in the loop.
+
+The event-driven engine (:mod:`repro.simulation.engine`) hands ground-truth
+corruption onsets straight to the strategy — it answers "how good are the
+decisions when the inputs are perfect?".  This module answers the harder
+question from the ISSUE: **how does CorrOpt behave when its inputs lie?**
+
+Here nothing reaches the controller except through the monitoring path:
+
+    trace onsets → topology ground truth → SNMP counters →
+    (fault-injected transport) → sanitizer → store →
+    detection → hardened controller → disable / fail-safe keep
+
+Poll-driven, 15-minute granularity.  Telemetry faults (missed polls,
+wraps, resets, freezes, duplicates, delays) are injected by a
+:class:`~repro.faults.telemetry_faults.FaultyTransport`; the sanitizer
+rates every sample and quarantines flaky directions; the hardened
+controller refuses to disable on quarantined data.
+
+Determinism contract: with a fault config whose rates are all zero (or no
+config at all) the run is bit-identical to the fault-free run — the chaos
+apparatus itself must not perturb the system it observes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.controller import CorrOptController
+from repro.core.resilience import AuditLog, CircuitBreaker, OnsetDebouncer
+from repro.faults.telemetry_faults import FaultyTransport, TelemetryFaultConfig
+from repro.simulation.metrics import ChaosMetrics, SimulationMetrics
+from repro.simulation.scenarios import Scenario
+from repro.telemetry.poller import SnmpPoller
+from repro.telemetry.sanitizer import TelemetrySanitizer
+from repro.telemetry.store import TelemetryStore
+from repro.topology.elements import Direction, LinkId
+
+DAY_S = 86_400.0
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one closed-loop chaos run."""
+
+    duration_s: float
+    metrics: SimulationMetrics
+    chaos: ChaosMetrics
+    audit: AuditLog
+    sanitizer_stats: "object"
+    controller_log: "object"
+
+    @property
+    def penalty_integral(self) -> float:
+        return self.metrics.total_penalty_integral(self.duration_s)
+
+    def invariants_ok(self) -> bool:
+        """The two hard invariants of the acceptance criteria."""
+        return (
+            self.chaos.quarantine_violations == 0
+            and self.chaos.capacity_violations == 0
+        )
+
+    def fingerprint(self) -> Tuple:
+        """Exact metric-series identity for bit-identical comparisons."""
+        return (
+            tuple(self.metrics.penalty.changes()),
+            tuple(self.metrics.worst_tor_fraction.changes()),
+            tuple(self.metrics.average_tor_fraction.changes()),
+            self.metrics.onsets,
+            self.metrics.disabled_on_onset,
+            self.metrics.disabled_on_activation,
+            self.metrics.repairs_completed,
+        )
+
+
+class ChaosSimulation:
+    """Replay a scenario's trace with the telemetry pipeline in the loop.
+
+    Args:
+        scenario: Topology + trace + capacity preset.
+        fault_config: Telemetry fault rates (``None`` = clean monitoring).
+        detection_threshold: Sanitized corruption rate at which a report
+            is raised to the controller.
+        packets_per_poll: Offered packets per direction per poll; sets the
+            smallest observable corruption rate (1 / packets_per_poll).
+        repair_accuracy: First-attempt repair success probability (failed
+            first attempts fold into a doubled stay, as in the engine).
+        service_days: Ticket service time per attempt.
+        seed: Seed for the repair RNG (independent of the telemetry fault
+            RNG so fault injection never perturbs repair outcomes).
+        poll_interval_s: Monitoring granularity.
+        debounce_confirm: Consecutive confirming reports needed before the
+            controller acts on an onset (1 = act immediately).
+        max_decisions: Controller decision ring-buffer bound.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        fault_config: Optional[TelemetryFaultConfig] = None,
+        detection_threshold: float = 1e-7,
+        packets_per_poll: int = 10_000_000,
+        repair_accuracy: float = 0.8,
+        service_days: float = 2.0,
+        seed: int = 0,
+        poll_interval_s: float = 900.0,
+        debounce_confirm: int = 2,
+        max_decisions: int = 4096,
+    ):
+        self.scenario = scenario
+        self.topo = scenario.topo_factory()
+        self.constraint = scenario.constraint()
+        self.fault_config = fault_config
+        self.detection_threshold = detection_threshold
+        self.packets_per_poll = packets_per_poll
+        self.repair_accuracy = repair_accuracy
+        self.service_s = service_days * DAY_S
+        self.poll_interval_s = poll_interval_s
+        self.rng = random.Random(seed)
+
+        self.store = TelemetryStore()
+        self.sanitizer = TelemetrySanitizer(interval_s=poll_interval_s)
+        self.transport = (
+            FaultyTransport(fault_config) if fault_config is not None else None
+        )
+        self.poller = SnmpPoller(
+            self.topo,
+            self.store,
+            packets_fn=lambda _did, _t: self.packets_per_poll,
+            interval_s=poll_interval_s,
+            transport=self.transport,
+            sanitizer=self.sanitizer,
+        )
+        self.audit = AuditLog()
+        self.controller = CorrOptController(
+            self.topo,
+            self.constraint,
+            quarantine_fn=self.sanitizer.link_quarantined,
+            debouncer=OnsetDebouncer(
+                confirm=debounce_confirm,
+                window_s=3 * poll_interval_s,
+                high=detection_threshold,
+            ),
+            optimizer_breaker=CircuitBreaker(),
+            max_decisions=max_decisions,
+            audit=self.audit,
+        )
+
+        self.metrics = SimulationMetrics()
+        self.chaos = ChaosMetrics()
+        # Ground truth bookkeeping: outstanding fault onset times and
+        # which of them the telemetry pipeline has noticed.
+        self._onset_time: Dict[LinkId, float] = {}
+        self._detected: Set[LinkId] = set()
+        self._repair_heap: List[Tuple[float, int, LinkId]] = []
+        self._tiebreak = itertools.count()
+        self._min_threshold = min(
+            [self.constraint.default]
+            + list(self.constraint.per_tor.values())
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _schedule_repair(self, now: float, link_id: LinkId) -> None:
+        attempts = 1 if self.rng.random() < self.repair_accuracy else 2
+        done = now + attempts * self.service_s
+        heapq.heappush(
+            self._repair_heap, (done, next(self._tiebreak), link_id)
+        )
+
+    def _apply_onsets(self, events, now: float) -> None:
+        """Write ground-truth corruption for onsets due by ``now``."""
+        while events and events[0].time_s <= now:
+            event = events.pop(0)
+            for link_id, condition in zip(event.link_ids, event.conditions):
+                link = self.topo.link(link_id)
+                if not link.enabled or link_id in self._onset_time:
+                    continue  # already mitigated or already corrupting
+                self.metrics.onsets += 1
+                self._onset_time[link_id] = event.time_s
+                self.topo.set_corruption(
+                    link_id, condition.fwd_rate, Direction.UP
+                )
+                if condition.rev_rate > 0:
+                    self.topo.set_corruption(
+                        link_id, condition.rev_rate, Direction.DOWN
+                    )
+
+    def _complete_repairs(self, now: float) -> None:
+        while self._repair_heap and self._repair_heap[0][0] <= now:
+            _done, _tie, link_id = heapq.heappop(self._repair_heap)
+            self._onset_time.pop(link_id, None)
+            self._detected.discard(link_id)
+            self.metrics.repairs_completed += 1
+            before = self.controller.log.disabled_by_optimizer
+            result = self.controller.activate_link(
+                link_id, repaired=True, time_s=now
+            )
+            newly = self.controller.log.disabled_by_optimizer - before
+            self.metrics.disabled_on_activation += newly
+            # Optimizer-driven disables also need repair visits (skip any
+            # the fail-safe rule kept active despite the plan).
+            for lid in sorted(result.to_disable):
+                if not self.topo.link(lid).enabled and not self._pending_repair(
+                    lid
+                ):
+                    self._schedule_repair(now, lid)
+
+    def _pending_repair(self, link_id: LinkId) -> bool:
+        return any(lid == link_id for _t, _n, lid in self._repair_heap)
+
+    def _detect_and_report(self, now: float) -> None:
+        """Raise controller reports from fresh telemetry samples."""
+        for link in list(self.topo.links()):
+            if not link.enabled:
+                continue
+            link_id = link.link_id
+            for direction in (Direction.UP, Direction.DOWN):
+                did = link.direction_id(direction)
+                sample = self.store.last_sample(did)
+                if sample is None:
+                    continue
+                time_s, corruption, _cong, _util, _quality = sample
+                if time_s != now:
+                    continue  # no fresh sample this tick
+                if corruption < self.detection_threshold:
+                    continue
+                was_quarantined = self.sanitizer.link_quarantined(link_id)
+                truly_corrupting = (
+                    self.topo.link(link_id).max_corruption_rate() > 0
+                )
+                decision = self.controller.report_corruption(
+                    link_id, corruption, direction, time_s=now
+                )
+                if truly_corrupting and link_id not in self._detected:
+                    self._detected.add(link_id)
+                    self.chaos.detections += 1
+                    onset = self._onset_time.get(link_id, now)
+                    self.chaos.detection_delay_polls += max(
+                        0.0, (now - onset) / self.poll_interval_s
+                    )
+                if decision.disabled:
+                    self.metrics.disabled_on_onset += 1
+                    if was_quarantined:
+                        self.chaos.quarantine_violations += 1
+                    if not truly_corrupting:
+                        self.chaos.false_disables += 1
+                    self._schedule_repair(now, link_id)
+                    break  # link is down; no point checking the other side
+                elif decision.fast_check is not None:
+                    self.metrics.kept_active_on_onset += 1
+
+    def _snapshot(self, now: float) -> None:
+        self.metrics.penalty.record(now, self.controller.current_penalty())
+        worst = self.controller.worst_tor_fraction()
+        self.metrics.worst_tor_fraction.record(now, worst)
+        self.metrics.average_tor_fraction.record(
+            now, self.controller.average_tor_fraction()
+        )
+        if worst < self._min_threshold - 1e-9:
+            self.chaos.capacity_violations += 1
+        quarantined = self.sanitizer.quarantined_directions()
+        self.chaos.quarantined_peak = max(
+            self.chaos.quarantined_peak, quarantined
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ChaosResult:
+        """Execute the scenario's full horizon, one poll at a time."""
+        duration_s = self.scenario.trace.duration_days * DAY_S
+        events = sorted(self.scenario.trace.events, key=lambda e: e.time_s)
+        num_polls = int(duration_s / self.poll_interval_s)
+
+        for _ in range(num_polls):
+            now = self.poller.time_s + self.poll_interval_s
+            self._apply_onsets(events, now)
+            self._complete_repairs(now)
+            polled = self.poller.poll_once()
+            assert polled == now
+            self.chaos.polls += 1
+            self._detect_and_report(now)
+            self._snapshot(now)
+
+        # Faults outstanding at the end that telemetry never surfaced.
+        self.chaos.missed_mitigations = sum(
+            1 for lid in self._onset_time if lid not in self._detected
+        )
+        self.chaos.missed_polls = self.poller.missed_polls
+        self.chaos.degraded_samples = (
+            self.sanitizer.stats.missing
+            + self.sanitizer.stats.resets_detected
+            + self.sanitizer.stats.freezes_detected
+            + self.sanitizer.stats.duplicates_dropped
+            + self.sanitizer.stats.out_of_order_dropped
+        )
+        self.chaos.decisions_in_degraded_mode = (
+            self.controller.log.fail_safe_keeps
+            + self.controller.log.optimizer_fallbacks
+        )
+        return ChaosResult(
+            duration_s=duration_s,
+            metrics=self.metrics,
+            chaos=self.chaos,
+            audit=self.audit,
+            sanitizer_stats=self.sanitizer.stats,
+            controller_log=self.controller.log,
+        )
+
+
+def run_chaos_scenario(
+    scenario: Scenario,
+    fault_config: Optional[TelemetryFaultConfig] = None,
+    **kwargs,
+) -> ChaosResult:
+    """Convenience wrapper: build and run a :class:`ChaosSimulation`."""
+    return ChaosSimulation(scenario, fault_config=fault_config, **kwargs).run()
+
+
+#: Named fault presets for the CLI and CI chaos-fuzz job.
+CHAOS_PRESETS: Dict[str, TelemetryFaultConfig] = {
+    "none": TelemetryFaultConfig(),
+    "mild": TelemetryFaultConfig(
+        missed_poll_rate=0.01,
+        duplicate_rate=0.005,
+        delay_rate=0.005,
+        optical_garbage_rate=0.01,
+    ),
+    "harsh": TelemetryFaultConfig(
+        missed_poll_rate=0.10,
+        reset_rate=0.002,
+        freeze_rate=0.01,
+        duplicate_rate=0.02,
+        delay_rate=0.02,
+        wrap_32bit=True,
+        optical_garbage_rate=0.05,
+    ),
+    "reboot-storm": TelemetryFaultConfig(reset_rate=0.02),
+    "flaky-collector": TelemetryFaultConfig(
+        missed_poll_rate=0.25, duplicate_rate=0.05, delay_rate=0.05
+    ),
+}
+
+
+def chaos_preset(name: str, seed: int = 0) -> TelemetryFaultConfig:
+    """Look up a preset by name, re-seeded."""
+    if name not in CHAOS_PRESETS:
+        raise ValueError(
+            f"unknown chaos preset {name!r}; choose from {sorted(CHAOS_PRESETS)}"
+        )
+    base = CHAOS_PRESETS[name]
+    return TelemetryFaultConfig(
+        seed=seed,
+        missed_poll_rate=base.missed_poll_rate,
+        wrap_32bit=base.wrap_32bit,
+        reset_rate=base.reset_rate,
+        freeze_rate=base.freeze_rate,
+        freeze_duration_polls=base.freeze_duration_polls,
+        duplicate_rate=base.duplicate_rate,
+        delay_rate=base.delay_rate,
+        optical_garbage_rate=base.optical_garbage_rate,
+    )

@@ -130,3 +130,49 @@ class SimulationMetrics:
     def total_penalty_integral(self, duration_s: float) -> float:
         """∫ penalty dt over the whole run — the Figure 17 numerator."""
         return self.penalty.integral(0.0, duration_s)
+
+
+@dataclass
+class ChaosMetrics:
+    """What a telemetry-fault (chaos) run additionally records.
+
+    These quantify mitigation quality when the monitoring itself lies:
+
+    Attributes:
+        polls: Poll ticks executed.
+        missed_polls: Per-direction polls that never arrived.
+        degraded_samples: Sanitized samples flagged non-OK.
+        false_disables: Links disabled while their ground-truth corruption
+            rate was zero (phantom corruption from bad telemetry).
+        missed_mitigations: Ground-truth faults never detected by the
+            telemetry pipeline by the end of the run.
+        detections: Faults the pipeline did detect (first report).
+        detection_delay_polls: Total polls between ground-truth onset and
+            first detection, summed over ``detections``.
+        decisions_in_degraded_mode: Controller decisions taken in degraded
+            mode (fail-safe keeps, fallback sweeps).
+        quarantined_peak: Peak number of simultaneously quarantined
+            directions.
+        quarantine_violations: Disables of quarantined links (the fail-safe
+            invariant requires this to stay 0).
+        capacity_violations: Ticks on which the worst ToR fraction fell
+            below its constraint (must stay 0).
+    """
+
+    polls: int = 0
+    missed_polls: int = 0
+    degraded_samples: int = 0
+    false_disables: int = 0
+    missed_mitigations: int = 0
+    detections: int = 0
+    detection_delay_polls: float = 0.0
+    decisions_in_degraded_mode: int = 0
+    quarantined_peak: int = 0
+    quarantine_violations: int = 0
+    capacity_violations: int = 0
+
+    def mean_detection_delay_polls(self) -> float:
+        """Average onset→detection delay, in polls."""
+        if self.detections == 0:
+            return 0.0
+        return self.detection_delay_polls / self.detections

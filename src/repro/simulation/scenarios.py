@@ -97,6 +97,26 @@ def large_scenario(**kwargs) -> Scenario:
     return make_scenario(profile=LARGE_DCN, **kwargs)
 
 
+def chaos_scenario(**kwargs) -> Scenario:
+    """Medium-DCN preset sized for closed-loop chaos runs.
+
+    The chaos simulation (:mod:`repro.simulation.chaos`) keeps the whole
+    telemetry pipeline in the loop — every link direction is polled every
+    15 minutes — so a simulated day costs far more than in the
+    event-driven engine.  This preset shrinks the horizon and raises the
+    event rate so telemetry faults and mitigation decisions interact
+    within a short run; everything is overridable.
+    """
+    defaults = dict(
+        profile=MEDIUM_DCN,
+        scale=0.12,
+        duration_days=4.0,
+        events_per_10k_links_per_day=400.0,
+    )
+    defaults.update(kwargs)
+    return make_scenario(**defaults)
+
+
 def standard_strategies(
     capacity: float,
 ) -> Dict[str, Callable[[Topology], object]]:

@@ -10,17 +10,31 @@
 
 from repro.telemetry.counters import CounterSnapshot, DirectionCounters
 from repro.telemetry.poller import POLL_INTERVAL_S, OpticalReading, SnmpPoller
+from repro.telemetry.sanitizer import (
+    COUNTER_32BIT_MODULUS,
+    SampleQuality,
+    SanitizedSample,
+    SanitizerStats,
+    TelemetrySanitizer,
+    optical_reading_plausible,
+)
 from repro.telemetry.store import TelemetryStore
 from repro.telemetry.timeseries import TimeSeries, cdf_points, percentile
 
 __all__ = [
+    "COUNTER_32BIT_MODULUS",
     "CounterSnapshot",
     "DirectionCounters",
     "OpticalReading",
     "POLL_INTERVAL_S",
+    "SampleQuality",
+    "SanitizedSample",
+    "SanitizerStats",
     "SnmpPoller",
+    "TelemetrySanitizer",
     "TelemetryStore",
     "TimeSeries",
     "cdf_points",
+    "optical_reading_plausible",
     "percentile",
 ]

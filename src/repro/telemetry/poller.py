@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.telemetry.counters import CounterSnapshot, DirectionCounters
+from repro.telemetry.sanitizer import TelemetrySanitizer
 from repro.telemetry.store import TelemetryStore
 from repro.topology.elements import Direction, DirectionId, LinkId
 from repro.topology.graph import Topology
@@ -45,6 +46,18 @@ class SnmpPoller:
         congestion_fn: Optional ``(direction_id, time_s) -> loss rate`` for
             congestion drops (default: none).
         interval_s: Poll spacing.
+        transport: Optional delivery shim between the device counters and
+            the collector.  Must expose ``deliver(direction_id, snapshot)
+            -> List[CounterSnapshot]`` (empty = missed poll, several =
+            duplicated / late samples) and ``deliver_optical(link_id,
+            reading) -> OpticalReading``; see :mod:`repro.faults.
+            telemetry_faults`.  ``None`` (the default) keeps the happy
+            path untouched.
+        sanitizer: Optional :class:`~repro.telemetry.sanitizer.
+            TelemetrySanitizer`.  When set, delivered snapshots are
+            diffed, wrap/reset-corrected, and quality-flagged by the
+            sanitizer instead of the poller's raw differencing, and every
+            store append carries the sample's quality flag.
     """
 
     def __init__(
@@ -54,14 +67,19 @@ class SnmpPoller:
         packets_fn: Callable[[DirectionId, float], int],
         congestion_fn: Optional[Callable[[DirectionId, float], float]] = None,
         interval_s: float = POLL_INTERVAL_S,
+        transport=None,
+        sanitizer: Optional[TelemetrySanitizer] = None,
     ):
         self._topo = topo
         self._store = store
         self._packets_fn = packets_fn
         self._congestion_fn = congestion_fn or (lambda _did, _t: 0.0)
         self.interval_s = interval_s
+        self.transport = transport
+        self.sanitizer = sanitizer
         self._counters: Dict[DirectionId, DirectionCounters] = {}
         self._previous: Dict[DirectionId, CounterSnapshot] = {}
+        self.missed_polls = 0
         self.time_s = 0.0
 
     def _counters_for(self, direction_id: DirectionId) -> DirectionCounters:
@@ -79,8 +97,14 @@ class SnmpPoller:
         now = self.time_s
         for link in self._topo.links():
             if not link.enabled:
-                continue  # a disabled link carries no traffic (§8 notes
-                # monitoring data stops flowing when a link is disabled)
+                # A disabled link carries no traffic (§8 notes monitoring
+                # data stops flowing when a link is disabled).  Drop the
+                # cached snapshot: the first poll after re-enable must
+                # re-seed rather than diff against pre-disable counters
+                # with a stale time base.
+                for direction in (Direction.UP, Direction.DOWN):
+                    self._previous.pop(link.direction_id(direction), None)
+                continue
             for direction in (Direction.UP, Direction.DOWN):
                 did = link.direction_id(direction)
                 packets = self._packets_fn(did, now)
@@ -89,30 +113,61 @@ class SnmpPoller:
                 counters = self._counters_for(did)
                 counters.record_interval(packets, corruption, congestion)
                 snap = counters.snapshot(now)
-                previous = self._previous.get(did)
-                if previous is not None:
-                    self._store.append_rates(
-                        did,
-                        now,
-                        corruption=snap.corruption_rate_since(previous),
-                        congestion=snap.congestion_rate_since(previous),
-                        utilization=self._utilization(did, packets),
-                    )
-                self._previous[did] = snap
+                if self.transport is not None:
+                    delivered = self.transport.deliver(did, snap)
+                else:
+                    delivered = [snap]
+                if not delivered:
+                    self.missed_polls += 1
+                    if self.sanitizer is not None:
+                        self.sanitizer.observe_missing(did, now)
+                    continue
+                for arrived in delivered:
+                    self._ingest(did, arrived)
         return now
 
-    def _utilization(self, direction_id: DirectionId, packets: int) -> float:
-        """Interval utilization from offered packets vs. line rate.
+    def _ingest(self, did: DirectionId, snap: CounterSnapshot) -> None:
+        """Route one delivered snapshot to the store.
 
-        Assumes 1000-byte packets against the link's nominal capacity.
+        With a sanitizer, diffing/quality assessment happens there; the
+        legacy path diffs raw snapshots exactly as before.
         """
+        if self.sanitizer is not None:
+            sample = self.sanitizer.ingest(
+                did, snap, capacity_pkts_per_s=self._capacity_pkts_per_s(did)
+            )
+            if sample is not None:
+                self._store.append_rates(
+                    did,
+                    sample.time_s,
+                    corruption=sample.corruption,
+                    congestion=sample.congestion,
+                    utilization=sample.utilization,
+                    quality=sample.quality,
+                )
+            return
+        previous = self._previous.get(did)
+        if previous is not None and snap.time_s > previous.time_s:
+            capacity = self._capacity_pkts_per_s(did)
+            interval = snap.time_s - previous.time_s
+            sent = max(0, snap.total - previous.total)
+            utilization = (
+                min(1.0, sent / (capacity * interval)) if capacity > 0 else 0.0
+            )
+            self._store.append_rates(
+                did,
+                snap.time_s,
+                corruption=snap.corruption_rate_since(previous),
+                congestion=snap.congestion_rate_since(previous),
+                utilization=utilization,
+            )
+        if previous is None or snap.time_s >= previous.time_s:
+            self._previous[did] = snap
+
+    def _capacity_pkts_per_s(self, direction_id: DirectionId) -> float:
+        """Line rate in packets/second, assuming 1000-byte packets."""
         link = self._topo.find_link(*direction_id)
-        capacity_pkts = (
-            link.capacity_gbps * 1e9 / 8.0 / 1000.0
-        ) * self.interval_s
-        if capacity_pkts <= 0:
-            return 0.0
-        return min(1.0, packets / capacity_pkts)
+        return link.capacity_gbps * 1e9 / 8.0 / 1000.0
 
     def run(self, num_polls: int) -> None:
         """Run ``num_polls`` consecutive polls."""
@@ -123,12 +178,17 @@ class SnmpPoller:
         """Package a fault condition as an optical poll record.
 
         Orientation: ``LinkCondition`` side 1 is the receiver of the
-        corrupting (UP) direction, i.e. the upper switch.
+        corrupting (UP) direction, i.e. the upper switch.  With a transport
+        installed the reading passes through ``deliver_optical``, which may
+        corrupt it (garbage-optics fault model).
         """
-        return OpticalReading(
+        reading = OpticalReading(
             time_s=self.time_s,
             tx_lower_dbm=conditions.tx2_dbm,
             rx_lower_dbm=conditions.rx2_dbm,
             tx_upper_dbm=conditions.tx1_dbm,
             rx_upper_dbm=conditions.rx1_dbm,
         )
+        if self.transport is not None:
+            reading = self.transport.deliver_optical(link_id, reading)
+        return reading

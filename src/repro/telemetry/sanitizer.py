@@ -1,0 +1,360 @@
+"""Telemetry sanitization: turning untrusted counter reads into rated samples.
+
+§2 could only use the production SNMP feed after filtering ("we discard
+counters that are obviously wrong"), and §8 notes that monitoring stops
+flowing when a link is disabled.  This module is the defensive layer that
+makes those realities explicit: raw :class:`~repro.telemetry.counters.
+CounterSnapshot` deliveries — possibly missing, wrapped, reset, frozen,
+duplicated, or out of order — are converted into per-direction loss-rate
+samples that are *always* in [0, 1] and carry a :class:`SampleQuality`
+flag, so downstream consumers (the controller above all) can tell trusted
+data from reconstructed or suspect data.
+
+Directions whose recent sample quality degrades past a threshold are
+**quarantined**: the fail-safe controller refuses to disable links on
+quarantined telemetry ("never disable on untrusted data").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.telemetry.counters import CounterSnapshot
+from repro.topology.elements import DirectionId, LinkId
+
+#: Standard SNMP ifInErrors/ifOutDiscards width before 64-bit HC counters.
+COUNTER_32BIT_MODULUS = 2**32
+
+#: Optical power readings outside this window are physically implausible
+#: for DCN transceivers (Table 2 symptoms live in roughly [-30, +5] dBm).
+PLAUSIBLE_DBM_RANGE = (-40.0, 10.0)
+
+
+class SampleQuality(enum.Enum):
+    """Trust level of one derived telemetry sample."""
+
+    OK = "ok"                      # clean diff of two in-order snapshots
+    INTERPOLATED = "interpolated"  # value reconstructed (wrap unwrapped,
+    #                                or averaged across a polling gap)
+    SUSPECT = "suspect"            # reset/freeze/garbage detected; value
+    #                                is a best-effort guess
+    MISSING = "missing"            # the poll never arrived
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this sample should count against quarantine."""
+        return self in (SampleQuality.SUSPECT, SampleQuality.MISSING)
+
+
+@dataclass
+class SanitizedSample:
+    """One per-direction sample after sanitization.
+
+    Attributes:
+        direction_id: The sampled link direction.
+        time_s: Sample timestamp (delivery time for MISSING markers).
+        corruption: Corruption loss rate, guaranteed in [0, 1].
+        congestion: Congestion loss rate, guaranteed in [0, 1].
+        utilization: Interval utilization, guaranteed in [0, 1].
+        quality: Trust flag.
+        note: Human-readable cause when quality is not OK.
+    """
+
+    direction_id: DirectionId
+    time_s: float
+    corruption: float = 0.0
+    congestion: float = 0.0
+    utilization: float = 0.0
+    quality: SampleQuality = SampleQuality.OK
+    note: str = ""
+
+
+@dataclass
+class SanitizerStats:
+    """What the sanitizer saw and did (exact counters, never evicted)."""
+
+    samples: int = 0
+    missing: int = 0
+    duplicates_dropped: int = 0
+    out_of_order_dropped: int = 0
+    wraps_unwrapped: int = 0
+    resets_detected: int = 0
+    freezes_detected: int = 0
+    gaps_bridged: int = 0
+    clamps: int = 0
+
+
+def _finite(*values: float) -> bool:
+    return all(math.isfinite(v) for v in values)
+
+
+class TelemetrySanitizer:
+    """Stateful per-direction snapshot sanitizer.
+
+    Args:
+        interval_s: Nominal polling interval (gap detection baseline).
+        wrap_modulus: Counter width; deltas are unwrapped modulo this when
+            a wrap is the plausible explanation for a backwards counter.
+        window: Number of recent samples considered for quarantine.
+        quarantine_threshold: Quarantine a direction when the fraction of
+            degraded (SUSPECT/MISSING) samples in the window reaches this.
+        min_window_samples: Quarantine needs at least this many samples in
+            the window (a single bad first sample should not quarantine).
+    """
+
+    def __init__(
+        self,
+        interval_s: float = 900.0,
+        wrap_modulus: int = COUNTER_32BIT_MODULUS,
+        window: int = 8,
+        quarantine_threshold: float = 0.5,
+        min_window_samples: int = 3,
+    ):
+        if not 0.0 < quarantine_threshold <= 1.0:
+            raise ValueError("quarantine threshold outside (0, 1]")
+        self.interval_s = interval_s
+        self.wrap_modulus = wrap_modulus
+        self.window = window
+        self.quarantine_threshold = quarantine_threshold
+        self.min_window_samples = min_window_samples
+        self.stats = SanitizerStats()
+        self._prev: Dict[DirectionId, CounterSnapshot] = {}
+        self._quality: Dict[DirectionId, Deque[SampleQuality]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def _push_quality(
+        self, direction_id: DirectionId, quality: SampleQuality
+    ) -> None:
+        window = self._quality.setdefault(
+            direction_id, deque(maxlen=self.window)
+        )
+        window.append(quality)
+
+    def observe_missing(
+        self, direction_id: DirectionId, time_s: float
+    ) -> SanitizedSample:
+        """Record that a poll for ``direction_id`` never arrived."""
+        self.stats.missing += 1
+        self._push_quality(direction_id, SampleQuality.MISSING)
+        return SanitizedSample(
+            direction_id=direction_id,
+            time_s=time_s,
+            quality=SampleQuality.MISSING,
+            note="poll missed",
+        )
+
+    def ingest(
+        self,
+        direction_id: DirectionId,
+        snapshot: CounterSnapshot,
+        capacity_pkts_per_s: float = 0.0,
+    ) -> Optional[SanitizedSample]:
+        """Sanitize one delivered snapshot against the previous one.
+
+        Returns:
+            A rated sample, or ``None`` when the snapshot only seeds the
+            baseline or must be discarded (duplicate / out-of-order).
+        """
+        if not _finite(
+            float(snapshot.time_s),
+            float(snapshot.total),
+            float(snapshot.errors),
+            float(snapshot.drops),
+        ):
+            # Garbage snapshot: count it, poison the window, keep baseline.
+            self.stats.samples += 1
+            self._push_quality(direction_id, SampleQuality.SUSPECT)
+            return SanitizedSample(
+                direction_id=direction_id,
+                time_s=snapshot.time_s if math.isfinite(snapshot.time_s) else 0.0,
+                quality=SampleQuality.SUSPECT,
+                note="non-finite counter values",
+            )
+
+        previous = self._prev.get(direction_id)
+        if previous is None:
+            self._prev[direction_id] = snapshot
+            return None  # first sample only seeds the diff baseline
+
+        dt = snapshot.time_s - previous.time_s
+        if dt == 0:
+            self.stats.duplicates_dropped += 1
+            self._push_quality(direction_id, SampleQuality.SUSPECT)
+            return None
+        if dt < 0:
+            self.stats.out_of_order_dropped += 1
+            self._push_quality(direction_id, SampleQuality.SUSPECT)
+            return None
+
+        self.stats.samples += 1
+        quality = SampleQuality.OK
+        note = ""
+
+        d_total = snapshot.total - previous.total
+        d_errors = snapshot.errors - previous.errors
+        d_drops = snapshot.drops - previous.drops
+
+        if d_total < 0 or d_errors < 0 or d_drops < 0:
+            unwrapped_total = d_total % self.wrap_modulus
+            plausible = self._counters_fit_modulus(
+                previous, snapshot
+            ) and self._wrap_plausible(
+                unwrapped_total, dt, capacity_pkts_per_s
+            )
+            if plausible:
+                # 32-bit wrap: unwrap every counter that went backwards.
+                d_total = unwrapped_total
+                d_errors %= self.wrap_modulus
+                d_drops %= self.wrap_modulus
+                quality = SampleQuality.INTERPOLATED
+                note = "32-bit counter wrap unwrapped"
+                self.stats.wraps_unwrapped += 1
+            else:
+                # Counter reset (switch reboot): the new reading restarts
+                # from zero, so the post-boot values are the best estimate
+                # of the interval's traffic.
+                d_total = snapshot.total
+                d_errors = snapshot.errors
+                d_drops = snapshot.drops
+                quality = SampleQuality.SUSPECT
+                note = "counter reset detected"
+                self.stats.resets_detected += 1
+        elif d_total == 0 and capacity_pkts_per_s > 0:
+            # No packet movement on a link that should carry traffic: a
+            # frozen counter (or a genuinely silent interval — we cannot
+            # tell, which is exactly why it is only SUSPECT).
+            quality = SampleQuality.SUSPECT
+            note = "frozen counters (no movement)"
+            self.stats.freezes_detected += 1
+        elif dt > 1.5 * self.interval_s and quality is SampleQuality.OK:
+            # Rates derived across a polling gap are averages over the
+            # whole gap, not one interval: usable but reconstructed.
+            quality = SampleQuality.INTERPOLATED
+            note = f"bridged {dt / self.interval_s:.1f}-interval gap"
+            self.stats.gaps_bridged += 1
+
+        corruption = self._ratio(d_errors, d_total)
+        congestion = self._ratio(d_drops, d_total)
+        utilization = 0.0
+        if capacity_pkts_per_s > 0 and dt > 0:
+            utilization = self._clamp(d_total / (capacity_pkts_per_s * dt))
+
+        self._prev[direction_id] = snapshot
+        self._push_quality(direction_id, quality)
+        return SanitizedSample(
+            direction_id=direction_id,
+            time_s=snapshot.time_s,
+            corruption=corruption,
+            congestion=congestion,
+            utilization=utilization,
+            quality=quality,
+            note=note,
+        )
+
+    def _counters_fit_modulus(
+        self, previous: CounterSnapshot, snapshot: CounterSnapshot
+    ) -> bool:
+        """A wrap can only explain a backwards counter on a device whose
+        counters actually live below the modulus; any observed value at or
+        above it proves wider counters, making a reset the only remaining
+        explanation."""
+        m = self.wrap_modulus
+        return all(
+            v < m
+            for v in (
+                previous.total,
+                previous.errors,
+                previous.drops,
+                snapshot.total,
+                snapshot.errors,
+                snapshot.drops,
+            )
+        )
+
+    def _wrap_plausible(
+        self, unwrapped_total: int, dt: float, capacity_pkts_per_s: float
+    ) -> bool:
+        """A wrap explains a backwards counter only if the unwrapped delta
+        fits in the interval's physical capacity (with 2x slack)."""
+        if capacity_pkts_per_s <= 0:
+            # No capacity reference: accept the wrap when the unwrapped
+            # delta is small relative to the modulus (a reset to near zero
+            # instead produces a delta close to the full modulus minus the
+            # pre-reset value, i.e. usually large).
+            return unwrapped_total < self.wrap_modulus // 4
+        return unwrapped_total <= 2.0 * capacity_pkts_per_s * dt
+
+    def _ratio(self, numerator: int, denominator: int) -> float:
+        if denominator <= 0:
+            return 0.0
+        value = numerator / denominator
+        return self._clamp(value)
+
+    def _clamp(self, value: float) -> float:
+        if not math.isfinite(value):
+            self.stats.clamps += 1
+            return 0.0
+        if value < 0.0 or value > 1.0:
+            self.stats.clamps += 1
+        return min(1.0, max(0.0, value))
+
+    # ------------------------------------------------------------------ #
+    # Quarantine
+    # ------------------------------------------------------------------ #
+
+    def recent_quality(
+        self, direction_id: DirectionId
+    ) -> Tuple[int, int]:
+        """(degraded, total) sample counts in the direction's window."""
+        window = self._quality.get(direction_id)
+        if not window:
+            return (0, 0)
+        degraded = sum(1 for q in window if q.degraded)
+        return (degraded, len(window))
+
+    def quarantined(self, direction_id: DirectionId) -> bool:
+        """Whether the direction's recent telemetry is untrustworthy."""
+        degraded, total = self.recent_quality(direction_id)
+        if total < self.min_window_samples:
+            return False
+        return degraded / total >= self.quarantine_threshold
+
+    def link_quarantined(self, link_id: LinkId) -> bool:
+        """Whether either direction of a link is quarantined."""
+        a, b = link_id
+        return self.quarantined((a, b)) or self.quarantined((b, a))
+
+    def quarantined_directions(self) -> int:
+        """How many directions are currently quarantined."""
+        return sum(1 for did in self._quality if self.quarantined(did))
+
+    def forget(self, direction_id: DirectionId) -> None:
+        """Drop the diff baseline for a direction (e.g. after re-cabling).
+
+        The quality window is kept: trust must be re-earned, not reset.
+        """
+        self._prev.pop(direction_id, None)
+
+
+def optical_reading_plausible(reading) -> bool:
+    """Whether every power field of an optical reading is physically sane.
+
+    Garbage optics (NaN from a dead DOM sensor, absurd dBm from a firmware
+    bug) must not reach Algorithm 1, which compares power levels against
+    per-technology thresholds.
+    """
+    low, high = PLAUSIBLE_DBM_RANGE
+    fields = (
+        reading.tx_lower_dbm,
+        reading.rx_lower_dbm,
+        reading.tx_upper_dbm,
+        reading.rx_upper_dbm,
+    )
+    return all(math.isfinite(v) and low <= v <= high for v in fields)

@@ -4,12 +4,19 @@ The measurement analyses (§2–3) consume exactly three aligned series per
 link direction: corruption loss rate, congestion loss rate, and utilization.
 The store accumulates appends from the poller and exposes them as
 :class:`~repro.telemetry.timeseries.TimeSeries`.
+
+Appends are **gap-tolerant**: timestamps may jump forward (missed polls,
+disabled links), and each sample carries a :class:`~repro.telemetry.
+sanitizer.SampleQuality` flag.  Duplicate or out-of-order timestamps are
+dropped and counted rather than raised — production monitoring feeds
+deliver them routinely, and the store must never take the pipeline down.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.telemetry.sanitizer import SampleQuality
 from repro.telemetry.timeseries import TimeSeries
 from repro.topology.elements import DirectionId
 
@@ -17,8 +24,10 @@ from repro.topology.elements import DirectionId
 class TelemetryStore:
     """Accumulates per-direction monitoring samples.
 
-    Samples must be appended in time order per direction; the store infers
-    the sampling interval from the first two appends.
+    Samples should arrive in time order per direction; ties and regressions
+    are dropped (counted in :attr:`dropped_samples`) instead of raising.
+    The nominal sampling interval is inferred per direction from the
+    smallest observed gap, so missed-poll holes do not skew it.
     """
 
     def __init__(self):
@@ -26,6 +35,9 @@ class TelemetryStore:
         self._congestion: Dict[DirectionId, List[float]] = {}
         self._utilization: Dict[DirectionId, List[float]] = {}
         self._times: Dict[DirectionId, List[float]] = {}
+        self._quality: Dict[DirectionId, List[SampleQuality]] = {}
+        #: Appends discarded for duplicate / backwards timestamps.
+        self.dropped_samples: int = 0
 
     def append_rates(
         self,
@@ -34,17 +46,24 @@ class TelemetryStore:
         corruption: float,
         congestion: float,
         utilization: float,
-    ) -> None:
-        """Append one poll's derived rates for a direction."""
+        quality: SampleQuality = SampleQuality.OK,
+    ) -> bool:
+        """Append one poll's derived rates for a direction.
+
+        Returns:
+            ``True`` when stored; ``False`` when the sample was dropped
+            because its timestamp does not advance the series.
+        """
         times = self._times.setdefault(direction_id, [])
         if times and time_s <= times[-1]:
-            raise ValueError(
-                f"samples must be time-ordered: {time_s} after {times[-1]}"
-            )
+            self.dropped_samples += 1
+            return False
         times.append(time_s)
         self._corruption.setdefault(direction_id, []).append(corruption)
         self._congestion.setdefault(direction_id, []).append(congestion)
         self._utilization.setdefault(direction_id, []).append(utilization)
+        self._quality.setdefault(direction_id, []).append(quality)
+        return True
 
     # ------------------------------------------------------------------ #
 
@@ -57,7 +76,8 @@ class TelemetryStore:
     def _interval(self, direction_id: DirectionId) -> float:
         times = self._times[direction_id]
         if len(times) >= 2:
-            return times[1] - times[0]
+            # Smallest positive gap: robust against missed-poll holes.
+            return min(b - a for a, b in zip(times, times[1:]))
         return 900.0
 
     def corruption_series(self, direction_id: DirectionId) -> TimeSeries:
@@ -83,6 +103,43 @@ class TelemetryStore:
             interval_s=self._interval(direction_id),
             start_s=self._times[direction_id][0] if self._times[direction_id] else 0.0,
         )
+
+    def times(self, direction_id: DirectionId) -> List[float]:
+        """Sample timestamps of one direction (may contain gaps)."""
+        return list(self._times.get(direction_id, []))
+
+    def last_sample(
+        self, direction_id: DirectionId
+    ) -> Optional[Tuple[float, float, float, float, SampleQuality]]:
+        """The most recent sample of a direction, or ``None``.
+
+        Returns:
+            ``(time_s, corruption, congestion, utilization, quality)``.
+            O(1); the chaos loop polls this every tick.
+        """
+        times = self._times.get(direction_id)
+        if not times:
+            return None
+        return (
+            times[-1],
+            self._corruption[direction_id][-1],
+            self._congestion[direction_id][-1],
+            self._utilization[direction_id][-1],
+            self._quality[direction_id][-1],
+        )
+
+    def quality_series(self, direction_id: DirectionId) -> List[SampleQuality]:
+        """Per-sample quality flags, aligned with the rate series."""
+        return list(self._quality.get(direction_id, []))
+
+    def quality_counts(
+        self, direction_id: DirectionId
+    ) -> Dict[SampleQuality, int]:
+        """Histogram of sample quality for one direction."""
+        counts: Dict[SampleQuality, int] = {}
+        for q in self._quality.get(direction_id, []):
+            counts[q] = counts.get(q, 0) + 1
+        return counts
 
     def mean_rates(self, direction_id: DirectionId) -> Tuple[float, float]:
         """(mean corruption rate, mean congestion rate) for a direction."""

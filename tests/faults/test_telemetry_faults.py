@@ -1,0 +1,140 @@
+"""Telemetry fault-model tests: per-fault behavior, composition, seeding."""
+
+import math
+import random
+
+import pytest
+
+from repro.faults import (
+    CounterResetFault,
+    CounterWrapFault,
+    DelayedSampleFault,
+    DuplicateSampleFault,
+    FaultyTransport,
+    FrozenCounterFault,
+    MissedPollFault,
+    TelemetryFaultConfig,
+)
+from repro.telemetry import COUNTER_32BIT_MODULUS, CounterSnapshot, OpticalReading
+
+DID = ("sw-a", "sw-b")
+
+
+def snap(t, total, errors=0, drops=0):
+    return CounterSnapshot(time_s=t, total=total, errors=errors, drops=drops)
+
+
+class TestConfig:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            TelemetryFaultConfig(missed_poll_rate=1.5)
+        with pytest.raises(ValueError):
+            TelemetryFaultConfig(reset_rate=-0.1)
+        with pytest.raises(ValueError):
+            TelemetryFaultConfig(freeze_duration_polls=0)
+
+    def test_any_enabled(self):
+        assert not TelemetryFaultConfig().any_enabled()
+        assert TelemetryFaultConfig(wrap_32bit=True).any_enabled()
+        assert TelemetryFaultConfig(delay_rate=0.01).any_enabled()
+
+
+class TestIndividualFaults:
+    def test_wrap_applies_modulus(self):
+        fault = CounterWrapFault()
+        m = COUNTER_32BIT_MODULUS
+        [out] = fault.apply(random.Random(0), DID, [snap(900, m + 5, m + 1)])
+        assert out.total == 5 and out.errors == 1
+
+    def test_reset_rebases_persistently(self):
+        fault = CounterResetFault(rate=1.0)  # trips on the first sample
+        rng = random.Random(0)
+        [first] = fault.apply(rng, DID, [snap(900, 1000, 50)])
+        assert first.total == 0 and first.errors == 0
+        fault.rate = 0.0  # no further reboots
+        [second] = fault.apply(rng, DID, [snap(1800, 1500, 80)])
+        assert second.total == 500 and second.errors == 30
+
+    def test_freeze_repeats_stale_values(self):
+        fault = FrozenCounterFault(rate=1.0, duration_polls=3)
+        rng = random.Random(0)
+        [a] = fault.apply(rng, DID, [snap(900, 100)])
+        assert a.total == 100  # freeze starts: first sample passes through
+        [b] = fault.apply(rng, DID, [snap(1800, 200)])
+        [c] = fault.apply(rng, DID, [snap(2700, 300)])
+        assert b.total == 100 and c.total == 100  # stale values...
+        assert b.time_s == 1800 and c.time_s == 2700  # ...fresh timestamps
+
+    def test_missed_poll_drops_everything(self):
+        fault = MissedPollFault(rate=1.0)
+        assert fault.apply(random.Random(0), DID, [snap(900, 1)]) == []
+
+    def test_duplicate_doubles_sample(self):
+        fault = DuplicateSampleFault(rate=1.0)
+        out = fault.apply(random.Random(0), DID, [snap(900, 1)])
+        assert len(out) == 2 and out[0] == out[1]
+
+    def test_delay_reorders_across_polls(self):
+        fault = DelayedSampleFault(rate=1.0)
+        rng = random.Random(0)
+        assert fault.apply(rng, DID, [snap(900, 100)]) == []  # held
+        fault.rate = 0.0
+        out = fault.apply(rng, DID, [snap(1800, 200)])
+        assert [s.time_s for s in out] == [1800, 900]  # stale arrives last
+
+
+class TestTransport:
+    def test_zero_config_is_identity_without_rng(self):
+        """All-zero rates install no faults and draw no random numbers, so
+        chaos runs with a zero config are bit-identical to fault-free runs."""
+        transport = FaultyTransport(TelemetryFaultConfig(seed=123))
+        state_before = transport._rng.getstate()
+        s = snap(900, 42, 7, 3)
+        assert transport.deliver(DID, s) == [s]
+        reading = OpticalReading(900.0, -2.0, -3.0, -2.5, -3.5)
+        assert transport.deliver_optical(("sw-a", "sw-b"), reading) == reading
+        assert transport._rng.getstate() == state_before
+
+    def test_same_seed_same_stream(self):
+        config = TelemetryFaultConfig(
+            seed=9, missed_poll_rate=0.3, duplicate_rate=0.3, reset_rate=0.05
+        )
+        outs = []
+        for _ in range(2):
+            transport = FaultyTransport(TelemetryFaultConfig(**vars(config)))
+            run = []
+            for i in range(200):
+                run.append(transport.deliver(DID, snap(900 * (i + 1), i * 1000)))
+            outs.append(run)
+        assert outs[0] == outs[1]
+
+    def test_different_seed_different_stream(self):
+        def stream(seed):
+            transport = FaultyTransport(
+                TelemetryFaultConfig(seed=seed, missed_poll_rate=0.5)
+            )
+            return [
+                len(transport.deliver(DID, snap(900 * (i + 1), i)))
+                for i in range(100)
+            ]
+
+        assert stream(1) != stream(2)
+
+    def test_composition_counts_delivery(self):
+        transport = FaultyTransport(
+            TelemetryFaultConfig(seed=4, missed_poll_rate=0.4, duplicate_rate=0.4)
+        )
+        total = 0
+        for i in range(300):
+            total += len(transport.deliver(DID, snap(900 * (i + 1), i)))
+        assert transport.polls_missed > 0
+        assert transport.polls_delivered == total > 300 * 0.4  # dups offset misses
+
+    def test_optical_garbage(self):
+        transport = FaultyTransport(
+            TelemetryFaultConfig(seed=0, optical_garbage_rate=1.0)
+        )
+        clean = OpticalReading(0.0, -2.0, -3.0, -2.5, -3.5)
+        out = transport.deliver_optical(("a", "b"), clean)
+        fields = [out.tx_lower_dbm, out.rx_lower_dbm, out.tx_upper_dbm, out.rx_upper_dbm]
+        assert any(math.isnan(v) or v > 10 or v < -40 for v in fields)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.telemetry import (
+    CounterSnapshot,
     DirectionCounters,
     TimeSeries,
     cdf_points,
@@ -53,6 +54,19 @@ class TestCounters:
         counters = DirectionCounters(("a", "b"))
         counters.record_interval(10_000_000, 1e-6, 0.0)
         assert counters.errors == 10
+
+    def test_snapshot_rates_clamped_to_unit_interval(self):
+        """Regression: reset/wrapped counters must not yield rates outside
+        [0, 1] from raw snapshot differencing."""
+        healthy = CounterSnapshot(time_s=900.0, total=1000, errors=900, drops=800)
+        # Errors advanced more than total (partial reset of the total
+        # counter): the naive ratio would exceed 1.
+        skewed = CounterSnapshot(time_s=1800.0, total=1100, errors=1500, drops=800)
+        assert skewed.corruption_rate_since(healthy) == 1.0
+        # Errors went backwards (error counter reset): naive ratio < 0.
+        rebooted = CounterSnapshot(time_s=1800.0, total=1100, errors=0, drops=0)
+        assert rebooted.corruption_rate_since(healthy) == 0.0
+        assert rebooted.congestion_rate_since(healthy) == 0.0
 
 
 class TestTimeSeries:

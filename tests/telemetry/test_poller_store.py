@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.telemetry import SnmpPoller, TelemetryStore
+from repro.telemetry import SampleQuality, SnmpPoller, TelemetryStore
 from repro.topology import Direction, build_clos
 
 
@@ -74,13 +74,35 @@ class TestPoller:
         # 1e6 packets of 1000B over 900s on 40G: 8e9/4.5e12.
         assert 0.0 < series.mean() < 0.01
 
+    def test_reenabled_link_reseeds_baseline(self, setup):
+        """Regression: a disable/enable cycle must drop the cached snapshot.
+
+        The poller used to keep ``_previous`` across the disabled window, so
+        the first poll after re-enable diffed against a stale pre-disable
+        baseline instead of re-seeding."""
+        topo, store, poller = setup
+        lid = ("pod0/tor0", "pod0/agg0")
+        poller.poll_once()  # seeds every direction
+        topo.disable_link(lid)
+        poller.poll_once()  # link skipped; stale baseline must be dropped
+        topo.enable_link(lid)
+        poller.poll_once()  # first poll after re-enable: seed only
+        assert lid not in list(store.directions())
+        poller.poll_once()
+        series = store.corruption_series(lid)
+        assert len(series) == 1  # exactly one clean one-interval diff
+
 
 class TestStore:
-    def test_out_of_order_append_rejected(self):
+    def test_out_of_order_append_dropped(self):
         store = TelemetryStore()
-        store.append_rates(("a", "b"), 900.0, 0.0, 0.0, 0.1)
-        with pytest.raises(ValueError, match="time-ordered"):
-            store.append_rates(("a", "b"), 900.0, 0.0, 0.0, 0.1)
+        assert store.append_rates(("a", "b"), 900.0, 0.0, 0.0, 0.1)
+        # Duplicate and backwards timestamps are dropped, not raised:
+        # production feeds deliver them routinely (gap tolerance).
+        assert not store.append_rates(("a", "b"), 900.0, 0.0, 0.0, 0.1)
+        assert not store.append_rates(("a", "b"), 450.0, 0.0, 0.0, 0.1)
+        assert store.dropped_samples == 2
+        assert len(store.corruption_series(("a", "b"))) == 1
 
     def test_mean_rates(self):
         store = TelemetryStore()
@@ -95,3 +117,39 @@ class TestStore:
         store.append_rates(("a", "b"), 900.0, 0, 0, 0)
         store.append_rates(("a", "b"), 1800.0, 0, 0, 0)
         assert store.corruption_series(("a", "b")).interval_s == 900.0
+
+    def test_gap_tolerant_append(self):
+        store = TelemetryStore()
+        store.append_rates(("a", "b"), 900.0, 0, 0, 0)
+        # A missed poll leaves a hole; the next append must still land.
+        assert store.append_rates(("a", "b"), 2700.0, 1e-3, 0, 0)
+        assert store.times(("a", "b")) == [900.0, 2700.0]
+        assert store.dropped_samples == 0
+
+    def test_quality_tracked_per_sample(self):
+        store = TelemetryStore()
+        store.append_rates(("a", "b"), 900.0, 0, 0, 0)
+        store.append_rates(
+            ("a", "b"), 1800.0, 0, 0, 0, quality=SampleQuality.SUSPECT
+        )
+        assert store.quality_series(("a", "b")) == [
+            SampleQuality.OK,
+            SampleQuality.SUSPECT,
+        ]
+        counts = store.quality_counts(("a", "b"))
+        assert counts[SampleQuality.OK] == 1
+        assert counts[SampleQuality.SUSPECT] == 1
+
+    def test_last_sample(self):
+        store = TelemetryStore()
+        assert store.last_sample(("a", "b")) is None
+        store.append_rates(("a", "b"), 900.0, 1e-3, 1e-5, 0.5)
+        store.append_rates(("a", "b"), 1800.0, 2e-3, 2e-5, 0.6)
+        time_s, corruption, congestion, util, quality = store.last_sample(
+            ("a", "b")
+        )
+        assert time_s == 1800.0
+        assert corruption == 2e-3
+        assert congestion == 2e-5
+        assert util == 0.6
+        assert quality is SampleQuality.OK

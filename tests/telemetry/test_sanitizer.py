@@ -1,0 +1,165 @@
+"""Sanitizer tests: wrap/reset detection, clamping, quality, quarantine."""
+
+import math
+import random
+
+import pytest
+
+from repro.telemetry import (
+    COUNTER_32BIT_MODULUS,
+    CounterSnapshot,
+    OpticalReading,
+    SampleQuality,
+    TelemetrySanitizer,
+    optical_reading_plausible,
+)
+
+CAP_PPS = 5_000_000.0  # 40G at 1000B packets
+
+
+def snap(t, total, errors=0, drops=0):
+    return CounterSnapshot(time_s=t, total=total, errors=errors, drops=drops)
+
+
+class TestWrapReset:
+    def test_first_sample_seeds(self):
+        s = TelemetrySanitizer()
+        assert s.ingest(("a", "b"), snap(900, 100)) is None
+
+    def test_clean_diff_is_ok(self):
+        s = TelemetrySanitizer()
+        s.ingest(("a", "b"), snap(900, 1_000_000, 100, 10), CAP_PPS)
+        out = s.ingest(("a", "b"), snap(1800, 2_000_000, 300, 30), CAP_PPS)
+        assert out.quality is SampleQuality.OK
+        assert out.corruption == pytest.approx(200 / 1_000_000)
+        assert out.congestion == pytest.approx(20 / 1_000_000)
+
+    def test_32bit_wrap_unwrapped(self):
+        s = TelemetrySanitizer()
+        m = COUNTER_32BIT_MODULUS
+        before = m - 500_000
+        s.ingest(("a", "b"), snap(900, before, 100), CAP_PPS)
+        # True cumulative advanced by 1e6 packets, reported mod 2^32.
+        after = (before + 1_000_000) % m
+        out = s.ingest(("a", "b"), snap(1800, after, 200), CAP_PPS)
+        assert out.quality is SampleQuality.INTERPOLATED
+        assert out.corruption == pytest.approx(100 / 1_000_000)
+        assert s.stats.wraps_unwrapped == 1
+
+    def test_reset_detected(self):
+        s = TelemetrySanitizer()
+        s.ingest(("a", "b"), snap(900, 5_000_000_000, 1000), CAP_PPS)
+        # Reboot: counters restart near zero.  The unwrapped delta would be
+        # astronomically larger than the interval's capacity -> reset.
+        out = s.ingest(("a", "b"), snap(1800, 1_000_000, 10), CAP_PPS)
+        assert out.quality is SampleQuality.SUSPECT
+        assert s.stats.resets_detected == 1
+        assert 0.0 <= out.corruption <= 1.0
+
+    def test_frozen_counters_suspect(self):
+        s = TelemetrySanitizer()
+        s.ingest(("a", "b"), snap(900, 1_000_000), CAP_PPS)
+        out = s.ingest(("a", "b"), snap(1800, 1_000_000), CAP_PPS)
+        assert out.quality is SampleQuality.SUSPECT
+        assert s.stats.freezes_detected == 1
+
+    def test_gap_bridged_interpolated(self):
+        s = TelemetrySanitizer(interval_s=900.0)
+        s.ingest(("a", "b"), snap(900, 1_000_000, 0), CAP_PPS)
+        # Two missed polls: the next diff spans 3 intervals.
+        out = s.ingest(("a", "b"), snap(3600, 4_000_000, 30), CAP_PPS)
+        assert out.quality is SampleQuality.INTERPOLATED
+        assert out.corruption == pytest.approx(1e-5)
+
+    def test_duplicate_and_out_of_order_discarded(self):
+        s = TelemetrySanitizer()
+        s.ingest(("a", "b"), snap(900, 100), CAP_PPS)
+        s.ingest(("a", "b"), snap(1800, 200), CAP_PPS)
+        assert s.ingest(("a", "b"), snap(1800, 200), CAP_PPS) is None
+        assert s.ingest(("a", "b"), snap(900, 100), CAP_PPS) is None
+        assert s.stats.duplicates_dropped == 1
+        assert s.stats.out_of_order_dropped == 1
+
+    def test_non_finite_snapshot_suspect(self):
+        s = TelemetrySanitizer()
+        out = s.ingest(("a", "b"), snap(900, float("nan")), CAP_PPS)
+        assert out.quality is SampleQuality.SUSPECT
+
+
+class TestPropertyStyle:
+    def test_sanitized_rates_always_in_unit_interval(self):
+        """Whatever garbage arrives, emitted rates stay in [0, 1]."""
+        rng = random.Random(42)
+        s = TelemetrySanitizer()
+        did = ("x", "y")
+        t = 0.0
+        for _ in range(500):
+            t += rng.choice([0.0, 900.0, 900.0, 900.0, 1800.0, -900.0])
+            total = rng.randrange(0, 2**33)
+            errors = rng.randrange(0, 2**33)
+            drops = rng.randrange(0, 2**33)
+            out = s.ingest(did, snap(max(t, 0.0), total, errors, drops), CAP_PPS)
+            if out is not None:
+                assert 0.0 <= out.corruption <= 1.0
+                assert 0.0 <= out.congestion <= 1.0
+                assert 0.0 <= out.utilization <= 1.0
+
+    def test_quality_ok_iff_no_fault(self):
+        """A clean monotone stream is 100% OK; each injected fault flags
+        its sample as non-OK."""
+        s = TelemetrySanitizer()
+        did = ("x", "y")
+        t, total = 0.0, 0
+        rng = random.Random(7)
+        for i in range(200):
+            t += 900.0
+            total += 100_000_000
+            out = s.ingest(did, snap(t, total, int(total * 1e-5)), CAP_PPS)
+            if out is not None:
+                assert out.quality is SampleQuality.OK, out.note
+        # Now inject one reset: exactly that sample is flagged.
+        total = rng.randrange(1000)
+        out = s.ingest(did, snap(t + 900.0, total, 0), CAP_PPS)
+        assert out.quality is SampleQuality.SUSPECT
+
+
+class TestQuarantine:
+    def test_quarantine_trips_and_recovers(self):
+        s = TelemetrySanitizer(window=4, quarantine_threshold=0.5,
+                               min_window_samples=2)
+        did = ("a", "b")
+        t, total = 900.0, 1_000_000
+        s.ingest(did, snap(t, total), CAP_PPS)
+        assert not s.quarantined(did)
+        # Two missed polls in a 4-window: 2/3 degraded >= 0.5 -> quarantine.
+        s.observe_missing(did, t + 900)
+        s.observe_missing(did, t + 1800)
+        s.ingest(did, snap(t + 2700, total + 3_000_000), CAP_PPS)
+        assert s.quarantined(did)
+        assert s.link_quarantined(("a", "b"))
+        assert s.link_quarantined(("b", "a"))  # either direction counts
+        # Clean samples push the bad ones out of the window.
+        for i in range(4):
+            total += 1_000_000
+            s.ingest(did, snap(t + 3600 + i * 900, total), CAP_PPS)
+        assert not s.quarantined(did)
+
+    def test_min_window_guard(self):
+        s = TelemetrySanitizer(min_window_samples=3)
+        s.observe_missing(("a", "b"), 900.0)
+        assert not s.quarantined(("a", "b"))  # one bad sample is not enough
+
+
+class TestOpticalPlausibility:
+    def test_garbage_optics_flagged(self):
+        clean = OpticalReading(0.0, -2.0, -3.0, -2.5, -3.5)
+        assert optical_reading_plausible(clean)
+        assert not optical_reading_plausible(
+            OpticalReading(0.0, float("nan"), -3.0, -2.5, -3.5)
+        )
+        assert not optical_reading_plausible(
+            OpticalReading(0.0, 99.9, -3.0, -2.5, -3.5)
+        )
+        assert not optical_reading_plausible(
+            OpticalReading(0.0, -127.0, -3.0, -2.5, -3.5)
+        )
