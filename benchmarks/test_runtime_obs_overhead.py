@@ -1,0 +1,116 @@
+"""Acceptance criterion: enabled instrumentation costs <10% wall clock.
+
+Replays the same seeded chaos scenario twice — once with the default
+:data:`NULL_RECORDER`, once with a live :class:`ObsRecorder` collecting
+metrics, spans, and events — and compares wall clock.  Runs are
+interleaved and the median of each mode is compared, so a single noisy
+scheduler spike on a shared box cannot fabricate (or hide) overhead the
+way a min/min comparison can.  Also re-checks the determinism contract on
+the exact runs being timed: the instrumented fingerprint must be
+bit-identical.
+
+Writes ``benchmarks/results/runtime_obs_overhead.json`` so CI archives the
+measured ratio alongside the figure tables.
+"""
+
+import json
+import statistics
+import time
+
+from conftest import RESULTS_DIR, write_report
+
+from repro.obs import ObsRecorder
+from repro.simulation.chaos import ChaosSimulation, chaos_preset
+from repro.simulation.scenarios import chaos_scenario
+
+#: Hard ceiling from the issue's acceptance criteria.
+MAX_OVERHEAD_RATIO = 1.10
+REPEATS = 5
+BENCH_DAYS = 2.0
+SCALE = 0.12
+
+
+def _run_once(obs=None):
+    scenario = chaos_scenario(scale=SCALE, duration_days=BENCH_DAYS, seed=0)
+    kwargs = {"fault_config": chaos_preset("mild"), "seed": 0}
+    if obs is not None:
+        kwargs["obs"] = obs
+    sim = ChaosSimulation(scenario, **kwargs)
+    start = time.perf_counter()
+    result = sim.run()
+    return result, time.perf_counter() - start
+
+
+def test_enabled_instrumentation_overhead_under_10_percent():
+    baseline_times = []
+    instrumented_times = []
+    recorder = None
+    baseline = instrumented = None
+    # Interleave the two modes so drift hits both equally.
+    for _ in range(REPEATS):
+        baseline, wall = _run_once()
+        baseline_times.append(wall)
+        obs = ObsRecorder()
+        instrumented, wall = _run_once(obs=obs)
+        instrumented_times.append(wall)
+        recorder = obs
+
+    baseline_s = statistics.median(baseline_times)
+    instrumented_s = statistics.median(instrumented_times)
+    ratio = instrumented_s / baseline_s
+    summary = recorder.summary()
+    assert instrumented.fingerprint() == baseline.fingerprint(), (
+        "instrumented run diverged from baseline"
+    )
+    assert summary["spans"] > 0 and summary["metrics"] > 0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "runtime_obs_overhead",
+        "scenario": {
+            "scale": SCALE,
+            "duration_days": BENCH_DAYS,
+            "preset": "mild",
+            "polls": instrumented.chaos.polls,
+        },
+        "repeats": REPEATS,
+        "baseline_wall_s": round(baseline_s, 4),
+        "baseline_wall_all_s": [round(t, 4) for t in baseline_times],
+        "instrumented_wall_s": round(instrumented_s, 4),
+        "instrumented_wall_all_s": [
+            round(t, 4) for t in instrumented_times
+        ],
+        "overhead_ratio": round(ratio, 4),
+        "max_allowed_ratio": MAX_OVERHEAD_RATIO,
+        "recorder": {
+            "metrics": summary["metrics"],
+            "spans": summary["spans"],
+            "events": summary["events"],
+            "dropped_spans": summary["dropped_spans"],
+            "dropped_events": summary["dropped_events"],
+        },
+        "bit_identical": True,
+    }
+    (RESULTS_DIR / "runtime_obs_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    write_report(
+        "runtime_obs_overhead",
+        [
+            "Observability overhead: instrumented vs NULL_RECORDER chaos "
+            "replay",
+            f"(mild preset, scale={SCALE}, {BENCH_DAYS} days, median of "
+            f"{REPEATS} interleaved; fingerprints bit-identical)",
+            "",
+            f"baseline      {baseline_s:8.3f} s",
+            f"instrumented  {instrumented_s:8.3f} s  "
+            f"({summary['spans']} spans, {summary['metrics']} instruments, "
+            f"{summary['events']} events)",
+            f"overhead      {(ratio - 1) * 100:+7.2f} %  "
+            f"(ceiling +{(MAX_OVERHEAD_RATIO - 1) * 100:.0f} %)",
+        ],
+    )
+    assert ratio < MAX_OVERHEAD_RATIO, (
+        f"instrumentation overhead {ratio:.3f}x exceeds "
+        f"{MAX_OVERHEAD_RATIO}x ceiling"
+    )

@@ -22,12 +22,14 @@ Typical entry points:
 >>> checker = core.FastChecker(topo, core.CapacityConstraint(0.75))
 """
 
+from repro._version import __version__  # noqa: F401
 from repro import (  # noqa: F401
     analysis,
     routing,
     congestion,
     core,
     faults,
+    obs,
     optics,
     simulation,
     telemetry,
@@ -37,13 +39,12 @@ from repro import (  # noqa: F401
     workloads,
 )
 
-__version__ = "1.0.0"
-
 __all__ = [
     "analysis",
     "congestion",
     "core",
     "faults",
+    "obs",
     "optics",
     "routing",
     "simulation",

@@ -9,7 +9,10 @@ Subcommands mirror the system's operational surfaces:
   monitoring path (sanitizer + fail-safe controller in the loop);
 - ``recommend`` — run Algorithm 1 on one link's observed symptoms;
 - ``gadget``    — build the Appendix-A reduction for a random 3-SAT
-  instance and solve it with the optimizer.
+  instance and solve it with the optimizer;
+- ``obs``       — inspect / validate observability artifacts (Prometheus
+  snapshots, JSONL event and audit streams, Chrome traces) written by
+  ``simulate``/``chaos`` via ``--metrics-out``/``--trace-out`` etc.
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -17,8 +20,71 @@ Run ``python -m repro <subcommand> --help`` for options.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability artifact flags shared by ``simulate`` and ``chaos``."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write a Prometheus text snapshot here",
+    )
+    group.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a Chrome trace (Perfetto-loadable JSON) here",
+    )
+    group.add_argument(
+        "--events-out", metavar="FILE",
+        help="write the structured JSONL event stream here",
+    )
+    group.add_argument(
+        "--manifest-out", metavar="FILE",
+        help="write the run manifest (JSON provenance) here",
+    )
+
+
+def _wants_obs(args: argparse.Namespace) -> bool:
+    return any(
+        getattr(args, name, None)
+        for name in (
+            "metrics_out", "trace_out", "events_out", "manifest_out",
+            "audit_out",
+        )
+    )
+
+
+def _build_obs(command: str, args: argparse.Namespace, seeds, topo):
+    """Construct a live recorder stamped with this invocation's manifest."""
+    from repro.obs import ObsRecorder, build_manifest
+
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("func", "command")
+        and not key.endswith("_out")
+        and isinstance(value, (bool, int, float, str, type(None)))
+    }
+    manifest = build_manifest(command, config=config, seeds=seeds, topo=topo)
+    return ObsRecorder(manifest=manifest)
+
+
+def _write_obs_artifacts(obs, args: argparse.Namespace) -> None:
+    """Write whichever artifacts were requested, reporting each path."""
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out)
+        print(f"metrics snapshot: {args.metrics_out}")
+    if args.events_out:
+        obs.write_events(args.events_out)
+        print(f"event stream: {args.events_out}")
+    if args.trace_out:
+        obs.write_trace(args.trace_out)
+        print(f"chrome trace: {args.trace_out} (open in Perfetto)")
+    if args.manifest_out:
+        obs.manifest.write(args.manifest_out)
+        print(f"run manifest: {args.manifest_out}")
 
 
 def _cmd_topology(args: argparse.Namespace) -> int:
@@ -78,6 +144,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulation import make_scenario, run_scenario
     from repro.workloads import LARGE_DCN, MEDIUM_DCN
 
+    from repro.obs import NULL_RECORDER
+
     profile = MEDIUM_DCN if args.dcn == "medium" else LARGE_DCN
     scenario = make_scenario(
         profile=profile,
@@ -87,8 +155,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         events_per_10k_links_per_day=args.events,
     )
+    obs = NULL_RECORDER
+    if _wants_obs(args):
+        obs = _build_obs(
+            "simulate",
+            args,
+            seeds={"trace": args.seed, "repair": args.seed},
+            topo=scenario._base_topo,
+        )
     result = run_scenario(
-        scenario, args.strategy, repair_accuracy=args.repair_accuracy
+        scenario, args.strategy, repair_accuracy=args.repair_accuracy, obs=obs
     )
     metrics = result.metrics
     print(
@@ -104,6 +180,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"kept active: {metrics.kept_active_on_onset}"
     )
     print(f"worst ToR path fraction: {metrics.worst_tor_fraction.min_value():.3f}")
+    if result.optimizer_stats is not None and result.optimizer_stats.runs:
+        print(f"optimizer: {result.optimizer_stats.summary()}")
+    if obs.enabled:
+        _write_obs_artifacts(obs, args)
     return 0
 
 
@@ -124,17 +204,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             delay_rate=args.delays,
             optical_garbage_rate=args.garbage_optics,
         )
+    from repro.obs import NULL_RECORDER
+
     scenario = chaos_scenario(
         scale=args.scale,
         duration_days=args.days,
         seed=args.seed,
         capacity=args.capacity,
     )
+    obs = NULL_RECORDER
+    if _wants_obs(args):
+        obs = _build_obs(
+            "chaos",
+            args,
+            seeds={
+                "trace": args.seed,
+                "repair": args.seed,
+                "faults": args.fault_seed,
+            },
+            topo=scenario._base_topo,
+        )
     result = run_chaos_scenario(
         scenario,
         config,
         repair_accuracy=args.repair_accuracy,
         seed=args.seed,
+        obs=obs,
     )
     metrics, chaos = result.metrics, result.chaos
     print(
@@ -163,12 +258,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"{chaos.false_disables} false disables"
     )
     print(f"penalty integral: {result.penalty_integral:.3e}")
+    optimizer_stats = getattr(result.controller_log, "optimizer_stats", None)
+    if optimizer_stats is not None and optimizer_stats.runs:
+        print(f"optimizer: {optimizer_stats.summary()}")
     print(
         "invariants: "
         f"quarantine violations {chaos.quarantine_violations}, "
         f"capacity violations {chaos.capacity_violations} "
         f"-> {'OK' if result.invariants_ok() else 'VIOLATED'}"
     )
+    if obs.enabled:
+        _write_obs_artifacts(obs, args)
+    if args.audit_out:
+        result.audit.write_jsonl(args.audit_out)
+        print(f"audit log: {args.audit_out}")
     return 0 if result.invariants_ok() else 1
 
 
@@ -225,6 +328,142 @@ def _cmd_gadget(args: argparse.Namespace) -> int:
     return 0 if agreement else 1
 
 
+def _read_lines(path: str) -> List[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read().splitlines()
+
+
+def _print_audit(lines: List[str], limit: int) -> None:
+    """Pretty-print an AuditLog JSONL export."""
+    header = json.loads(lines[0]) if lines else {}
+    counts = header.get("counts", {})
+    print(
+        f"audit log: {header.get('total_decisions', 0)} decisions "
+        f"({header.get('buffered_decisions', 0)} buffered), "
+        f"repro {header.get('repro_version', '?')}"
+    )
+    for event, count in sorted(counts.items()):
+        print(f"  {event}: {count}")
+    records = [json.loads(line) for line in lines[1:] if line.strip()]
+    shown = records if limit <= 0 else records[-limit:]
+    if len(shown) < len(records):
+        print(f"  ... showing last {len(shown)} of {len(records)} entries")
+    for record in shown:
+        hours = record.get("sim_time_s", 0.0) / 3600.0
+        link = record.get("link")
+        link_str = "<->".join(link) if link else "-"
+        flag = " [fail-safe]" if record.get("fail_safe") else ""
+        reason = record.get("reason") or ""
+        print(
+            f"  t={hours:8.2f}h  {record.get('verdict', '?'):<22} "
+            f"{link_str:<28} {reason}{flag}"
+        )
+
+
+def _print_metrics_summary(text: str) -> None:
+    families = {"counter": 0, "gauge": 0, "histogram": 0}
+    samples = 0
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            kind = line.split()[3]
+            if kind in families:
+                families[kind] += 1
+        elif line.startswith("# repro-version:") or line.startswith(
+            "# sim-time-s:"
+        ) or line.startswith("# topology-digest:"):
+            print(line[2:])
+        elif line and not line.startswith("#"):
+            samples += 1
+    print(
+        f"families: {families['counter']} counters, {families['gauge']} "
+        f"gauges, {families['histogram']} histograms; {samples} samples"
+    )
+
+
+def _print_events_summary(lines: List[str]) -> None:
+    header = json.loads(lines[0]) if lines else {}
+    print(
+        f"event stream: repro {header.get('repro_version', '?')}, "
+        f"{header.get('events', len(lines) - 1)} events"
+    )
+    by_name: dict = {}
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        by_name[record.get("name")] = by_name.get(record.get("name"), 0) + 1
+    for name, count in sorted(by_name.items(), key=lambda kv: -kv[1]):
+        print(f"  {name}: {count}")
+
+
+def _print_trace_summary(obj: dict) -> None:
+    events = [e for e in obj.get("traceEvents", []) if e.get("ph") == "X"]
+    other = obj.get("otherData", {})
+    print(
+        f"chrome trace: repro {other.get('repro_version', '?')}, "
+        f"{len(events)} spans "
+        f"({other.get('dropped_spans', 0)} dropped)"
+    )
+    totals: dict = {}
+    for event in events:
+        name = event.get("name", "?")
+        dur, count = totals.get(name, (0.0, 0))
+        totals[name] = (dur + event.get("dur", 0.0), count + 1)
+    for name, (dur, count) in sorted(
+        totals.items(), key=lambda kv: -kv[1][0]
+    )[:12]:
+        print(f"  {name}: {count} spans, {dur / 1e3:.1f} ms wall")
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        validate_audit_jsonl,
+        validate_chrome_trace,
+        validate_events_jsonl,
+        validate_prometheus_text,
+    )
+
+    if not any((args.audit, args.metrics, args.events, args.trace)):
+        print("nothing to inspect: pass --audit/--metrics/--events/--trace")
+        return 2
+
+    problems: List[str] = []
+    if args.metrics:
+        text = "\n".join(_read_lines(args.metrics))
+        if args.validate:
+            problems += [f"{args.metrics}: {p}" for p in
+                         validate_prometheus_text(text)]
+        _print_metrics_summary(text)
+    if args.events:
+        lines = _read_lines(args.events)
+        if args.validate:
+            problems += [f"{args.events}: {p}" for p in
+                         validate_events_jsonl(lines)]
+        _print_events_summary(lines)
+    if args.trace:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            obj = json.load(handle)
+        if args.validate:
+            problems += [f"{args.trace}: {p}" for p in
+                         validate_chrome_trace(obj)]
+        _print_trace_summary(obj)
+    if args.audit:
+        lines = _read_lines(args.audit)
+        if args.validate:
+            problems += [f"{args.audit}: {p}" for p in
+                         validate_audit_jsonl(lines)]
+        _print_audit(lines, args.limit)
+
+    if args.validate:
+        if problems:
+            print(f"validation: {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print("validation: OK")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -262,7 +501,8 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--events", type=float, default=15.0)
     sim.add_argument("--repair-accuracy", type=float, default=0.8)
-    sim.set_defaults(func=_cmd_simulate)
+    _add_obs_args(sim)
+    sim.set_defaults(func=_cmd_simulate, audit_out=None)
 
     chaos = sub.add_parser(
         "chaos", help="closed-loop run with telemetry faults"
@@ -285,6 +525,11 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--fault-seed", type=int, default=0)
     chaos.add_argument("--repair-accuracy", type=float, default=0.8)
+    _add_obs_args(chaos)
+    chaos.add_argument(
+        "--audit-out", metavar="FILE",
+        help="write the controller audit log as JSONL here",
+    )
     chaos.set_defaults(func=_cmd_chaos)
 
     rec = sub.add_parser("recommend", help="Algorithm 1 on one link")
@@ -306,6 +551,23 @@ def build_parser() -> argparse.ArgumentParser:
     gadget.add_argument("--clauses", type=int, default=6)
     gadget.add_argument("--seed", type=int, default=0)
     gadget.set_defaults(func=_cmd_gadget)
+
+    obs = sub.add_parser(
+        "obs", help="inspect / validate observability artifacts"
+    )
+    obs.add_argument("--audit", metavar="FILE", help="audit JSONL to pretty-print")
+    obs.add_argument("--metrics", metavar="FILE", help="Prometheus snapshot")
+    obs.add_argument("--events", metavar="FILE", help="events JSONL stream")
+    obs.add_argument("--trace", metavar="FILE", help="Chrome trace JSON")
+    obs.add_argument(
+        "--validate", action="store_true",
+        help="check every given file against its schema (exit 1 on problems)",
+    )
+    obs.add_argument(
+        "--limit", type=int, default=20,
+        help="audit entries to show (0 = all)",
+    )
+    obs.set_defaults(func=_cmd_obs)
 
     return parser
 

@@ -30,13 +30,14 @@ Hardening (all opt-in, defaults preserve the original behaviour):
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.constraints import CapacityConstraint
 from repro.core.fast_checker import FastChecker, FastCheckResult
-from repro.core.optimizer import GlobalOptimizer, OptimizerResult
+from repro.core.optimizer import GlobalOptimizer, OptimizerResult, OptimizerStats
 from repro.core.path_counting import PathCounter
 from repro.core.penalty import PenaltyFn, linear_penalty, total_penalty
 from repro.core.recommendation import (
@@ -47,10 +48,12 @@ from repro.core.recommendation import (
 )
 from repro.core.resilience import (
     AuditLog,
+    BreakerState,
     CircuitBreaker,
     OnsetDebouncer,
     retry_with_backoff,
 )
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.topology.elements import Direction, LinkId
 from repro.topology.graph import Topology
 
@@ -100,6 +103,9 @@ class ControllerLog:
     total_decisions: int = 0
     max_decisions: Optional[int] = None
     decisions: Deque[ControllerDecision] = field(default_factory=deque)
+    #: Aggregated search effort over every successful optimizer run this
+    #: controller executed (the former write-only ``OptimizerStats``).
+    optimizer_stats: OptimizerStats = field(default_factory=OptimizerStats)
 
     def __post_init__(self):
         if self.max_decisions is not None and self.max_decisions < 1:
@@ -137,6 +143,9 @@ class CorrOptController:
         optimizer_attempts: Attempts per optimizer run (retry w/ backoff).
         max_decisions: Bound on the per-decision ring buffer.
         audit: Structured audit log (created on demand when omitted).
+        obs: Observability recorder, shared with the fast checker, the
+            optimizer, and the path counter; decisions become spans,
+            per-outcome counters, and JSONL events (no-op by default).
     """
 
     def __init__(
@@ -157,15 +166,23 @@ class CorrOptController:
         optimizer_attempts: int = 1,
         max_decisions: Optional[int] = None,
         audit: Optional[AuditLog] = None,
+        obs: Recorder = NULL_RECORDER,
     ):
         if optimizer_attempts < 1:
             raise ValueError("optimizer_attempts must be >= 1")
         self.topo = topo
         self.constraint = constraint
-        self.counter = PathCounter(topo)
-        self.fast_checker = FastChecker(topo, constraint, counter=self.counter)
+        self.obs = obs
+        self.counter = PathCounter(topo, obs=obs)
+        self.fast_checker = FastChecker(
+            topo, constraint, counter=self.counter, obs=obs
+        )
         self.optimizer = GlobalOptimizer(
-            topo, constraint, penalty_fn=penalty_fn, counter=self.counter
+            topo,
+            constraint,
+            penalty_fn=penalty_fn,
+            counter=self.counter,
+            obs=obs,
         )
         self.recommender = recommender or full_engine()
         self.observation_provider = observation_provider
@@ -176,6 +193,7 @@ class CorrOptController:
         self.optimizer_attempts = optimizer_attempts
         self.audit = audit or AuditLog()
         self.log = ControllerLog(max_decisions=max_decisions)
+        self._last_breaker_state: Optional[BreakerState] = None
 
     # ------------------------------------------------------------------ #
 
@@ -199,6 +217,7 @@ class CorrOptController:
         """Keep the link active and audit why (never disable on untrusted
         data)."""
         self.log.fail_safe_keeps += 1
+        self.obs.count("controller_fail_safe_keeps_total", event=event)
         self.audit.record(
             time_s, event, link_id=link_id, detail=detail, fail_safe=True
         )
@@ -222,6 +241,45 @@ class CorrOptController:
         quarantined telemetry, unconfirmed (debounced) onsets, and checker
         errors all resolve to fail-safe keep-active decisions.
         """
+        obs = self.obs
+        start_wall = time.perf_counter() if obs.enabled else 0.0
+        with obs.span(
+            "controller.decide", cat="controller", link=str(link_id)
+        ) as span:
+            decision = self._report_corruption(
+                link_id, rate, direction, time_s
+            )
+            if obs.enabled:
+                outcome = (
+                    "disabled"
+                    if decision.disabled
+                    else (decision.reason or "kept")
+                )
+                span.set(outcome=outcome, degraded=decision.degraded)
+                obs.observe(
+                    "controller_decision_seconds",
+                    time.perf_counter() - start_wall,
+                )
+                obs.count("controller_decisions_total", outcome=outcome)
+                if decision.degraded:
+                    obs.count("controller_degraded_decisions_total")
+                obs.event(
+                    "decision",
+                    link=str(link_id),
+                    rate=rate,
+                    disabled=decision.disabled,
+                    degraded=decision.degraded,
+                    reason=decision.reason,
+                )
+        return decision
+
+    def _report_corruption(
+        self,
+        link_id: LinkId,
+        rate: float,
+        direction: Direction,
+        time_s: float,
+    ) -> ControllerDecision:
         self.log.reports += 1
 
         if self._quarantined(link_id):
@@ -286,6 +344,7 @@ class CorrOptController:
     def _fallback_sweep(self, candidates: List[LinkId]) -> OptimizerResult:
         """Fast-checker-only degraded mode (breaker open / optimizer down)."""
         self.log.optimizer_fallbacks += 1
+        self.obs.count("controller_optimizer_fallbacks_total")
         try:
             results = self.fast_checker.sweep(candidates)
         except Exception as exc:  # noqa: BLE001 — fail safe: disable nothing
@@ -320,6 +379,45 @@ class CorrOptController:
             The applied result over the now-current corrupting set.  In
             degraded mode this is the fast-checker sweep's outcome.
         """
+        obs = self.obs
+        with obs.span(
+            "controller.activate", cat="controller", link=str(link_id)
+        ) as span:
+            result = self._activate_link(link_id, repaired, time_s)
+            if obs.enabled:
+                span.set(
+                    disabled=len(result.to_disable),
+                    kept=len(result.kept_active),
+                )
+                obs.count("controller_activations_total")
+                self._note_breaker_state()
+        return result
+
+    def _note_breaker_state(self) -> None:
+        """Export the circuit breaker's state (and transitions) as metrics."""
+        breaker = self.optimizer_breaker
+        if breaker is None:
+            return
+        state = breaker.state
+        self.obs.gauge(
+            "circuit_breaker_state",
+            {
+                BreakerState.CLOSED: 0,
+                BreakerState.HALF_OPEN: 1,
+                BreakerState.OPEN: 2,
+            }[state],
+        )
+        if state is not self._last_breaker_state:
+            if self._last_breaker_state is not None:
+                self.obs.count(
+                    "circuit_breaker_transitions_total", to=state.value
+                )
+                self.obs.event("breaker-transition", to=state.value)
+            self._last_breaker_state = state
+
+    def _activate_link(
+        self, link_id: LinkId, repaired: bool, time_s: float
+    ) -> OptimizerResult:
         self.log.activations += 1
         if repaired:
             self.topo.clear_corruption(link_id)
@@ -362,6 +460,15 @@ class CorrOptController:
 
         if breaker is not None:
             breaker.record_success()
+        # Surface the run's search effort instead of dropping it: aggregate
+        # into the controller log and leave a structured audit entry.
+        self.log.optimizer_stats.merge(result.stats)
+        self.audit.record(
+            time_s,
+            "optimizer-run",
+            link_id=link_id,
+            detail=result.stats.summary(),
+        )
         for lid in sorted(result.to_disable):
             if self._quarantined(lid):
                 # Quarantine may have tripped between candidate selection

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.core.constraints import CapacityConstraint
 from repro.core.path_counting import PathCounter
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.topology.elements import LinkId
 from repro.topology.graph import Topology
 
@@ -52,6 +53,8 @@ class FastChecker:
         counter: Optionally share a :class:`PathCounter` (e.g. with the
             optimizer or the simulation engine) to avoid recomputing the
             baseline and to maintain a single incremental DP.
+        obs: Observability recorder; each check emits a ``fast_check``
+            span and per-verdict counters (no-op by default).
     """
 
     def __init__(
@@ -59,10 +62,12 @@ class FastChecker:
         topo: Topology,
         constraint: CapacityConstraint,
         counter: Optional[PathCounter] = None,
+        obs: Recorder = NULL_RECORDER,
     ):
         self._topo = topo
         self.constraint = constraint
         self.counter = counter or PathCounter(topo)
+        self.obs = obs
 
     def check(self, link_id: LinkId) -> FastCheckResult:
         """Decide whether ``link_id`` can be disabled (without disabling it).
@@ -70,6 +75,15 @@ class FastChecker:
         Only the ToRs downstream of the link need checking; their fractions
         are computed with the link hypothetically removed.
         """
+        with self.obs.span("fast_check", cat="fast_checker") as span:
+            result = self._check(link_id)
+            if self.obs.enabled:
+                verdict = "allowed" if result.allowed else "blocked"
+                span.set(link=str(link_id), verdict=verdict)
+                self.obs.count("fast_checker_checks_total", verdict=verdict)
+        return result
+
+    def _check(self, link_id: LinkId) -> FastCheckResult:
         link = self._topo.link(link_id)
         if not link.enabled:
             # Already mitigated; trivially allowed.

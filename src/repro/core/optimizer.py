@@ -29,13 +29,20 @@ from repro.core.constraints import CapacityConstraint
 from repro.core.path_counting import PathCounter
 from repro.core.penalty import PenaltyFn, linear_penalty
 from repro.core.segmentation import Segment, segment_links
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.topology.elements import LinkId
 from repro.topology.graph import Topology
 
 
 @dataclass
 class OptimizerStats:
-    """Search-effort accounting for one optimizer run."""
+    """Search-effort accounting for one optimizer run.
+
+    Also used as an *aggregate* across runs (see :meth:`merge`): the
+    controller, the strategies, and ``run_comparison`` accumulate every
+    run's stats so search effort is visible end-to-end instead of being
+    computed and dropped.
+    """
 
     num_candidates: int = 0
     num_safe: int = 0
@@ -44,6 +51,48 @@ class OptimizerStats:
     subsets_evaluated: int = 0
     reject_cache_hits: int = 0
     feasibility_checks: int = 0
+    runs: int = 0
+
+    def merge(self, other: "OptimizerStats") -> "OptimizerStats":
+        """Accumulate another run's stats into this aggregate."""
+        self.num_candidates += other.num_candidates
+        self.num_safe += other.num_safe
+        self.num_contested += other.num_contested
+        self.num_segments += other.num_segments
+        self.subsets_evaluated += other.subsets_evaluated
+        self.reject_cache_hits += other.reject_cache_hits
+        self.feasibility_checks += other.feasibility_checks
+        self.runs += other.runs
+        return self
+
+    def reject_cache_hit_rate(self) -> float:
+        """Fraction of considered subsets skipped by the reject cache."""
+        considered = self.reject_cache_hits + self.subsets_evaluated
+        if considered == 0:
+            return 0.0
+        return self.reject_cache_hits / considered
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "runs": self.runs,
+            "num_candidates": self.num_candidates,
+            "num_safe": self.num_safe,
+            "num_contested": self.num_contested,
+            "num_segments": self.num_segments,
+            "subsets_evaluated": self.subsets_evaluated,
+            "reject_cache_hits": self.reject_cache_hits,
+            "feasibility_checks": self.feasibility_checks,
+        }
+
+    def summary(self) -> str:
+        """One-line human form for audit entries and CLI output."""
+        return (
+            f"{self.runs} runs, {self.num_candidates} candidates "
+            f"({self.num_contested} contested, {self.num_segments} segments), "
+            f"{self.subsets_evaluated} subsets, "
+            f"{self.feasibility_checks} feasibility checks, "
+            f"reject-cache hit rate {self.reject_cache_hit_rate():.1%}"
+        )
 
 
 @dataclass
@@ -81,6 +130,8 @@ class GlobalOptimizer:
             ``"auto"`` (exhaustive for small segments, B&B otherwise).
         exhaustive_limit: Segment size above which ``"auto"`` switches to
             branch-and-bound.
+        obs: Observability recorder; each run emits an ``optimizer.plan``
+            span and search-effort counters (no-op by default).
     """
 
     def __init__(
@@ -94,6 +145,7 @@ class GlobalOptimizer:
         use_segmentation: bool = True,
         method: str = "auto",
         exhaustive_limit: int = 16,
+        obs: Recorder = NULL_RECORDER,
     ):
         if method not in ("auto", "exhaustive", "branch_and_bound"):
             raise ValueError(f"unknown optimizer method {method!r}")
@@ -106,6 +158,7 @@ class GlobalOptimizer:
         self.use_segmentation = use_segmentation
         self.method = method
         self.exhaustive_limit = exhaustive_limit
+        self.obs = obs
 
     # ------------------------------------------------------------------ #
 
@@ -124,11 +177,45 @@ class GlobalOptimizer:
         Returns:
             The optimal plan.  Links already disabled are ignored.
         """
+        with self.obs.span("optimizer.plan", cat="optimizer") as span:
+            result = self._plan(candidates)
+            if self.obs.enabled:
+                stats = result.stats
+                span.set(
+                    candidates=stats.num_candidates,
+                    contested=stats.num_contested,
+                    segments=stats.num_segments,
+                    disabled=len(result.to_disable),
+                )
+                self.obs.count("optimizer_runs_total")
+                self.obs.count(
+                    "optimizer_subsets_evaluated_total",
+                    stats.subsets_evaluated,
+                )
+                self.obs.count(
+                    "optimizer_reject_cache_hits_total",
+                    stats.reject_cache_hits,
+                )
+                self.obs.count(
+                    "optimizer_feasibility_checks_total",
+                    stats.feasibility_checks,
+                )
+                self.obs.count(
+                    "optimizer_segments_total", stats.num_segments
+                )
+                self.obs.observe(
+                    "optimizer_contested_links", stats.num_contested
+                )
+        return result
+
+    def _plan(
+        self, candidates: Optional[Sequence[LinkId]] = None
+    ) -> OptimizerResult:
         topo = self._topo
         if candidates is None:
             candidates = topo.corrupting_links()
         candidates = [lid for lid in candidates if topo.link(lid).enabled]
-        stats = OptimizerStats(num_candidates=len(candidates))
+        stats = OptimizerStats(num_candidates=len(candidates), runs=1)
         if not candidates:
             return OptimizerResult(stats=stats)
 

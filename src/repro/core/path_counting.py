@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.topology.elements import LinkId
 from repro.topology.graph import Topology
 
@@ -94,9 +95,15 @@ class PathCounter:
         4
     """
 
-    def __init__(self, topo: Topology, incremental: bool = True):
+    def __init__(
+        self,
+        topo: Topology,
+        incremental: bool = True,
+        obs: Recorder = NULL_RECORDER,
+    ):
         self._topo = topo
         self._incremental = incremental
+        self.obs = obs
         self.stats = PathCounterStats()
         self._rebuild_structure()
         topo.subscribe_admin_changes(self._on_admin_change)
@@ -234,6 +241,10 @@ class PathCounter:
                     queued.add(below)
                     heapq.heappush(heap, (-stage_of[below], below))
         self.stats.links_visited += visited
+        if self.obs.enabled:
+            self.obs.observe(
+                "path_counter_dirty_region_links", visited, kind="incremental"
+            )
 
     def _record_tor_change(self, tor: str, old: int, new: int) -> None:
         base = self._baseline[tor]
@@ -341,6 +352,11 @@ class PathCounter:
                     queued.add(below)
                     heapq.heappush(heap, (-stage_of[below], below))
         self.stats.links_visited += visited
+        if self.obs.enabled:
+            self.obs.count("path_counter_overlay_queries_total")
+            self.obs.observe(
+                "path_counter_dirty_region_links", visited, kind="overlay"
+            )
         return overlay
 
     def _full_counts(self) -> Dict[str, int]:

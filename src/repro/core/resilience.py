@@ -25,11 +25,17 @@ simulation owns time.
 from __future__ import annotations
 
 import enum
+import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple, Type
+from pathlib import Path
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple, Type
 
+from repro._version import __version__
 from repro.topology.elements import LinkId
+
+#: Bumped when the audit JSONL layout changes incompatibly.
+AUDIT_FORMAT_VERSION = 1
 
 
 # ---------------------------------------------------------------------- #
@@ -219,6 +225,22 @@ class AuditRecord:
     detail: str = ""
     fail_safe: bool = False
 
+    @property
+    def verdict(self) -> str:
+        """Operator-facing outcome label for this entry."""
+        return "fail-safe-keep" if self.fail_safe else self.event
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "decision",
+            "sim_time_s": self.time_s,
+            "link": list(self.link_id) if self.link_id else None,
+            "verdict": self.verdict,
+            "event": self.event,
+            "reason": self.detail,
+            "fail_safe": self.fail_safe,
+        }
+
 
 @dataclass
 class AuditLog:
@@ -265,3 +287,37 @@ class AuditLog:
 
     def fail_safe_records(self) -> List[AuditRecord]:
         return [r for r in self._records if r.fail_safe]
+
+    # ------------------------------------------------------------------ #
+    # Structured JSONL export
+    # ------------------------------------------------------------------ #
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """Header line, then one decision per line (buffered entries only).
+
+        The header carries provenance (format, version) plus the *exact*
+        per-event counts, which survive ring-buffer eviction even when the
+        per-decision lines do not.
+        """
+        yield json.dumps(
+            {
+                "type": "header",
+                "format": "repro-audit",
+                "format_version": AUDIT_FORMAT_VERSION,
+                "repro_version": __version__,
+                "total_decisions": self.total(),
+                "buffered_decisions": len(self._records),
+                "counts": dict(sorted(self.counts.items())),
+            },
+            sort_keys=True,
+        )
+        for record in self._records:
+            yield json.dumps(record.to_dict(), sort_keys=True)
+
+    def write_jsonl(self, path) -> Path:
+        """Write the JSONL export to ``path``."""
+        out = Path(path)
+        with open(out, "w", encoding="utf-8") as handle:
+            for line in self.jsonl_lines():
+                handle.write(line + "\n")
+        return out

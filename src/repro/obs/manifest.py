@@ -1,0 +1,142 @@
+"""Run provenance: what exactly produced this artifact?
+
+The paper's operational loop only works because every number can be traced
+back to a concrete network, config, and software revision.  A
+:class:`RunManifest` captures the same for a simulation run — CLI command,
+config knobs, seeds, package version, git SHA when available, topology
+digest — and is embedded in every exporter header, so a Prometheus
+snapshot or a Perfetto trace found on disk six months later still says
+where it came from.
+
+The topology digest covers *structure* (switches, links, capacities), not
+transient administrative or corruption state: two runs over the same
+design topology share a digest even though their link states diverge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro._version import __version__
+
+
+def package_version() -> str:
+    """The repro package version embedded in every artifact."""
+    return __version__
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """Current git commit SHA, or ``None`` outside a checkout.
+
+    Best-effort provenance only: failures (no git binary, not a repo,
+    timeout) must never break a run.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or str(Path(__file__).resolve().parent),
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except Exception:  # noqa: BLE001 — provenance is best-effort
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha if sha else None
+
+
+def topology_digest(topo) -> str:
+    """Stable SHA-256 over a topology's structure (hex).
+
+    Covers name, stage count, switches, and link endpoints/capacities;
+    excludes administrative state and corruption rates so the digest
+    identifies the *design* topology across a run's mutations.
+    """
+    structure = {
+        "name": topo.name,
+        "num_stages": topo.num_stages,
+        "switches": sorted(
+            (sw.name, sw.stage, sw.pod, sw.deep_buffer)
+            for sw in topo.switches()
+        ),
+        "links": sorted(
+            (link.lower, link.upper, link.capacity_gbps, link.breakout_group)
+            for link in topo.links()
+        ),
+    }
+    canonical = json.dumps(structure, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to re-run (or at least identify) a run.
+
+    Attributes:
+        command: The operation, e.g. ``"chaos"`` or ``"simulate"``.
+        config: Flattened config knobs (JSON-serializable values only).
+        seeds: Every RNG seed the run consumed, by role.
+        repro_version: Package version.
+        git_sha: Commit SHA when running from a checkout, else ``None``.
+        topology: Digest + size summary of the scenario topology.
+        python: Interpreter version string.
+    """
+
+    command: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    seeds: Dict[str, int] = field(default_factory=dict)
+    repro_version: str = field(default_factory=package_version)
+    git_sha: Optional[str] = None
+    topology: Dict[str, Any] = field(default_factory=dict)
+    python: str = field(default_factory=platform.python_version)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "command": self.command,
+            "config": dict(self.config),
+            "seeds": dict(self.seeds),
+            "repro_version": self.repro_version,
+            "git_sha": self.git_sha,
+            "topology": dict(self.topology),
+            "python": self.python,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+
+def build_manifest(
+    command: str,
+    config: Optional[Dict[str, Any]] = None,
+    seeds: Optional[Dict[str, int]] = None,
+    topo=None,
+    with_git: bool = True,
+) -> RunManifest:
+    """Assemble a manifest for one run (topology digested when given)."""
+    topology: Dict[str, Any] = {}
+    if topo is not None:
+        topology = {
+            "name": topo.name,
+            "switches": topo.num_switches,
+            "links": topo.num_links,
+            "stages": topo.num_stages,
+            "digest": topology_digest(topo),
+        }
+    return RunManifest(
+        command=command,
+        config=dict(config or {}),
+        seeds=dict(seeds or {}),
+        git_sha=git_sha() if with_git else None,
+        topology=topology,
+    )

@@ -1,0 +1,88 @@
+"""The recorder interface: every instrumentation point's single dependency.
+
+Instrumented components (:class:`~repro.core.controller.CorrOptController`,
+:class:`~repro.telemetry.poller.SnmpPoller`, the optimizer, the ticket
+queues, …) take an optional ``obs`` argument typed as :class:`Recorder`
+and default to the shared :data:`NULL_RECORDER`.  The null recorder is a
+pure no-op: with it, an instrumented run must be *bit-identical* to an
+uninstrumented one — no RNG draws, no sim-time reads, no allocation on the
+hot path beyond the method call itself.
+
+:class:`~repro.obs.session.ObsRecorder` is the live implementation; it
+fans the same calls out to a :class:`~repro.obs.registry.MetricsRegistry`,
+a :class:`~repro.obs.tracing.SpanTracer`, and a JSONL event stream.
+
+Two clocks, never mixed:
+
+- **sim time** flows *into* the recorder via :meth:`Recorder.set_sim_time`
+  (the simulation owns time; the recorder only annotates with it);
+- **wall clock** is read only by the tracer for span durations and only
+  ever flows *out* into trace files — it can never influence a decision.
+"""
+
+from __future__ import annotations
+
+
+class NullSpan:
+    """A reusable, state-free context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "NullSpan":
+        """Attach attributes to the span (no-op here)."""
+        return self
+
+
+#: Shared singleton so ``with obs.span(...)`` allocates nothing when off.
+NULL_SPAN = NullSpan()
+
+
+class Recorder:
+    """No-op recorder base class (and the interface contract).
+
+    Subclass and override to actually record; see
+    :class:`~repro.obs.session.ObsRecorder`.  ``enabled`` lets call sites
+    guard work that only exists to feed the recorder (e.g. computing a
+    label value) so the disabled path pays one attribute read.
+    """
+
+    enabled: bool = False
+
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        """Increment a labeled monotonic counter."""
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a labeled gauge to ``value``."""
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one observation into a labeled histogram."""
+
+    def event(self, name: str, **fields) -> None:
+        """Emit one structured event onto the JSONL stream."""
+
+    def span(self, name: str, cat: str = "", **attrs):
+        """Open a (context-manager) span; nests with enclosing spans."""
+        return NULL_SPAN
+
+    def set_sim_time(self, time_s: float) -> None:
+        """Tell the recorder the current simulation time."""
+
+    def scrape_path_counter(self, counter, role: str = "shared") -> None:
+        """Export a path counter's cumulative stats (no-op here)."""
+
+    def scrape_optimizer_stats(self, stats, role: str = "controller") -> None:
+        """Export aggregated optimizer search stats (no-op here)."""
+
+
+class NullRecorder(Recorder):
+    """The default recorder: records nothing, perturbs nothing."""
+
+
+#: Module-level default shared by every instrumentation point.
+NULL_RECORDER = NullRecorder()

@@ -1,0 +1,181 @@
+"""Schema validation for the three exporter formats.
+
+Shared by the golden-file tests, the ``repro obs --validate`` CLI, and the
+CI artifact job, so "the emitted artifact is well-formed" means the same
+thing everywhere.  Validators collect human-readable problems instead of
+raising: an empty list means valid.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Sequence
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_BODY_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*$'
+)
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _base_name(name: str, declared: Dict[str, str]) -> str:
+    """Map histogram series names back to their declared family."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if declared.get(base) == "histogram":
+                return base
+    return name
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Problems with a Prometheus snapshot (empty list = valid)."""
+    problems: List[str] = []
+    lines = text.splitlines()
+    if not lines:
+        return ["empty file"]
+    if not lines[0].startswith("# repro-obs prometheus snapshot format="):
+        problems.append("missing repro-obs snapshot header on line 1")
+    if not any(line.startswith("# repro-version: ") for line in lines):
+        problems.append("missing '# repro-version:' provenance header")
+
+    declared: Dict[str, str] = {}
+    for lineno, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                kind = parts[3]
+                if kind not in ("counter", "gauge", "histogram"):
+                    problems.append(f"line {lineno}: unknown TYPE {kind!r}")
+                declared[parts[2]] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels")
+        if labels and not _LABEL_BODY_RE.match(labels[1:-1]):
+            problems.append(f"line {lineno}: malformed labels {labels!r}")
+        value = match.group("value")
+        try:
+            float(value)
+        except ValueError:
+            problems.append(f"line {lineno}: non-numeric value {value!r}")
+        if _base_name(name, declared) not in declared:
+            problems.append(f"line {lineno}: sample {name!r} has no TYPE")
+    return problems
+
+
+def validate_events_jsonl(lines: Sequence[str]) -> List[str]:
+    """Problems with a JSONL event stream (empty list = valid)."""
+    problems: List[str] = []
+    if not lines:
+        return ["empty stream"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"line 1: invalid JSON ({exc})"]
+    if not isinstance(header, dict) or header.get("type") != "header":
+        problems.append("line 1: first record must have type 'header'")
+    else:
+        if header.get("format") != "repro-obs-events":
+            problems.append("line 1: wrong or missing 'format'")
+        if not isinstance(header.get("format_version"), int):
+            problems.append("line 1: missing integer 'format_version'")
+        if not header.get("repro_version"):
+            problems.append("line 1: missing 'repro_version'")
+
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: record is not an object")
+            continue
+        if record.get("type") != "event":
+            problems.append(f"line {lineno}: unknown type {record.get('type')!r}")
+        if not isinstance(record.get("name"), str):
+            problems.append(f"line {lineno}: missing string 'name'")
+        if not isinstance(record.get("sim_time_s"), (int, float)):
+            problems.append(f"line {lineno}: missing numeric 'sim_time_s'")
+    return problems
+
+
+def validate_chrome_trace(obj: object) -> List[str]:
+    """Problems with a Chrome-trace object (empty list = valid)."""
+    problems: List[str] = []
+    if not isinstance(obj, dict):
+        return ["trace is not a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' list"]
+    other = obj.get("otherData")
+    if not isinstance(other, dict) or not other.get("repro_version"):
+        problems.append("missing otherData.repro_version provenance")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing string 'name'")
+        ph = event.get("ph")
+        if ph not in ("X", "M", "B", "E", "i"):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+        if ph == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"{where}: bad {key!r} {value!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key!r}")
+    return problems
+
+
+def validate_audit_jsonl(lines: Sequence[str]) -> List[str]:
+    """Problems with an AuditLog JSONL export (empty list = valid)."""
+    problems: List[str] = []
+    if not lines:
+        return ["empty stream"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"line 1: invalid JSON ({exc})"]
+    if not isinstance(header, dict) or header.get("type") != "header":
+        problems.append("line 1: first record must have type 'header'")
+    elif header.get("format") != "repro-audit":
+        problems.append("line 1: wrong or missing 'format'")
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: record is not an object")
+            continue
+        if record.get("type") != "decision":
+            problems.append(
+                f"line {lineno}: unknown type {record.get('type')!r}"
+            )
+        if not isinstance(record.get("sim_time_s"), (int, float)):
+            problems.append(f"line {lineno}: missing numeric 'sim_time_s'")
+        if not isinstance(record.get("verdict"), str):
+            problems.append(f"line {lineno}: missing string 'verdict'")
+    return problems

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.controller import CorrOptController
 from repro.core.resilience import AuditLog, CircuitBreaker, OnsetDebouncer
 from repro.faults.telemetry_faults import FaultyTransport, TelemetryFaultConfig
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.simulation.metrics import ChaosMetrics, SimulationMetrics
 from repro.simulation.scenarios import Scenario
 from repro.telemetry.poller import SnmpPoller
@@ -97,6 +98,10 @@ class ChaosSimulation:
         debounce_confirm: Consecutive confirming reports needed before the
             controller acts on an onset (1 = act immediately).
         max_decisions: Controller decision ring-buffer bound.
+        obs: Observability recorder threaded through the whole closed loop
+            (poller, sanitizer, controller, optimizer).  The default
+            :data:`~repro.obs.recorder.NULL_RECORDER` preserves the
+            determinism contract above bit-for-bit.
     """
 
     def __init__(
@@ -111,6 +116,7 @@ class ChaosSimulation:
         poll_interval_s: float = 900.0,
         debounce_confirm: int = 2,
         max_decisions: int = 4096,
+        obs: Recorder = NULL_RECORDER,
     ):
         self.scenario = scenario
         self.topo = scenario.topo_factory()
@@ -122,9 +128,12 @@ class ChaosSimulation:
         self.service_s = service_days * DAY_S
         self.poll_interval_s = poll_interval_s
         self.rng = random.Random(seed)
+        self.obs = obs
 
         self.store = TelemetryStore()
-        self.sanitizer = TelemetrySanitizer(interval_s=poll_interval_s)
+        self.sanitizer = TelemetrySanitizer(
+            interval_s=poll_interval_s, obs=obs
+        )
         self.transport = (
             FaultyTransport(fault_config) if fault_config is not None else None
         )
@@ -135,6 +144,7 @@ class ChaosSimulation:
             interval_s=poll_interval_s,
             transport=self.transport,
             sanitizer=self.sanitizer,
+            obs=obs,
         )
         self.audit = AuditLog()
         self.controller = CorrOptController(
@@ -149,6 +159,7 @@ class ChaosSimulation:
             optimizer_breaker=CircuitBreaker(),
             max_decisions=max_decisions,
             audit=self.audit,
+            obs=obs,
         )
 
         self.metrics = SimulationMetrics()
@@ -269,6 +280,22 @@ class ChaosSimulation:
             self.chaos.quarantined_peak, quarantined
         )
 
+    def _scrape_final(self) -> None:
+        """Export end-of-run stats from components that keep their own
+        counters (path counter, optimizer, sanitizer) into the registry."""
+        obs = self.obs
+        obs.scrape_path_counter(self.controller.counter, role="controller")
+        obs.scrape_optimizer_stats(
+            self.controller.log.optimizer_stats, role="controller"
+        )
+        self.sanitizer.flush_obs_counts()
+        for key, value in vars(self.sanitizer.stats).items():
+            obs.gauge(f"sanitizer_stats_{key}", value)
+        obs.gauge(
+            "sanitizer_quarantined_directions",
+            self.sanitizer.quarantined_directions(),
+        )
+
     # ------------------------------------------------------------------ #
 
     def run(self) -> ChaosResult:
@@ -277,15 +304,23 @@ class ChaosSimulation:
         events = sorted(self.scenario.trace.events, key=lambda e: e.time_s)
         num_polls = int(duration_s / self.poll_interval_s)
 
+        obs = self.obs
         for _ in range(num_polls):
             now = self.poller.time_s + self.poll_interval_s
-            self._apply_onsets(events, now)
-            self._complete_repairs(now)
-            polled = self.poller.poll_once()
-            assert polled == now
-            self.chaos.polls += 1
-            self._detect_and_report(now)
-            self._snapshot(now)
+            obs.set_sim_time(now)
+            with obs.span("tick", cat="chaos"):
+                with obs.span("chaos.onsets", cat="chaos"):
+                    self._apply_onsets(events, now)
+                with obs.span("chaos.repair", cat="chaos"):
+                    self._complete_repairs(now)
+                # poll_once() emits its own poll > collect/sanitize/store
+                # span subtree, nested under this tick.
+                polled = self.poller.poll_once()
+                assert polled == now
+                self.chaos.polls += 1
+                with obs.span("chaos.detect", cat="chaos"):
+                    self._detect_and_report(now)
+                self._snapshot(now)
 
         # Faults outstanding at the end that telemetry never surfaced.
         self.chaos.missed_mitigations = sum(
@@ -303,6 +338,8 @@ class ChaosSimulation:
             self.controller.log.fail_safe_keeps
             + self.controller.log.optimizer_fallbacks
         )
+        if obs.enabled:
+            self._scrape_final()
         return ChaosResult(
             duration_s=duration_s,
             metrics=self.metrics,

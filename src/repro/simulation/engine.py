@@ -24,8 +24,10 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.core.optimizer import OptimizerStats
 from repro.core.path_counting import PathCounter
 from repro.core.penalty import PenaltyFn, linear_penalty
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.simulation.metrics import SimulationMetrics
 from repro.simulation.strategies import MitigationStrategy
 from repro.ticketing.queue import TechnicianPoolQueue
@@ -46,6 +48,9 @@ class SimulationResult:
     strategy_name: str
     duration_s: float
     metrics: SimulationMetrics
+    #: Aggregated optimizer search statistics, when the strategy ran the
+    #: global optimizer (None for strategies that never invoke it).
+    optimizer_stats: Optional[OptimizerStats] = None
 
     @property
     def penalty_integral(self) -> float:
@@ -80,6 +85,8 @@ class MitigationSimulation:
             "the exact time needed for a fix depends on the number of
             tickets in the queue"), instead of the fixed 2-or-4-day model.
             Failed repairs resubmit the ticket for another service round.
+        obs: Observability recorder; each processed event emits a span and
+            per-kind counters (no-op by default).
     """
 
     def __init__(
@@ -94,6 +101,7 @@ class MitigationSimulation:
         track_capacity: bool = True,
         full_repair_cycles: bool = False,
         technician_pool: Optional[int] = None,
+        obs: Recorder = NULL_RECORDER,
     ):
         if not 0.0 <= repair_accuracy <= 1.0:
             raise ValueError("repair accuracy outside [0, 1]")
@@ -106,6 +114,7 @@ class MitigationSimulation:
         self.rng = random.Random(seed)
         self.track_capacity = track_capacity
         self.full_repair_cycles = full_repair_cycles
+        self.obs = obs
         self.metrics = SimulationMetrics()
         self._counter: Optional[PathCounter] = None
         if track_capacity:
@@ -131,6 +140,7 @@ class MitigationSimulation:
             self._pool = TechnicianPoolQueue(
                 num_technicians=technician_pool,
                 service_time_s=self.service_s,
+                obs=obs,
             )
 
     # ------------------------------------------------------------------ #
@@ -204,21 +214,31 @@ class MitigationSimulation:
             )
         duration_s = self.trace.duration_days * DAY_S
 
+        obs = self.obs
+        _kind_names = {_ONSET: "onset", _REPAIR: "repair", _POOL_CHECK: "pool-check"}
         while heap:
             time_s, kind, _tie, payload = heapq.heappop(heap)
-            if kind == _ONSET:
-                self._handle_onset(heap, time_s, payload)
-            elif kind == _POOL_CHECK:
-                self._handle_pool_check(heap, time_s)
-            else:
-                self._handle_repair_completion(heap, time_s, payload)
+            obs.set_sim_time(time_s)
+            with obs.span(f"sim.{_kind_names[kind]}", cat="engine"):
+                if kind == _ONSET:
+                    self._handle_onset(heap, time_s, payload)
+                elif kind == _POOL_CHECK:
+                    self._handle_pool_check(heap, time_s)
+                else:
+                    self._handle_repair_completion(heap, time_s, payload)
+                if obs.enabled:
+                    obs.count("sim_events_total", kind=_kind_names[kind])
             if time_s <= duration_s:
                 self._snapshot(time_s)
+
+        if obs.enabled and self._counter is not None:
+            obs.scrape_path_counter(self._counter, role="engine")
 
         return SimulationResult(
             strategy_name=self.strategy.name,
             duration_s=duration_s,
             metrics=self.metrics,
+            optimizer_stats=self.strategy.optimizer_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -299,6 +319,7 @@ def run_comparison(
     service_days: float = 2.0,
     full_repair_cycles: bool = False,
     technician_pool: Optional[int] = None,
+    obs: Recorder = NULL_RECORDER,
 ) -> Dict[str, SimulationResult]:
     """Run the same trace under several strategies on fresh topology copies.
 
@@ -318,6 +339,9 @@ def run_comparison(
             re-detect → re-disable cycles, forwarded to every run.
         technician_pool: Optional technician-pool size, forwarded to every
             run (ablations that vary the repair model route through here).
+        obs: Observability recorder shared by every run (no-op by
+            default); per-strategy work is distinguishable by the
+            ``strategy`` span attribute.
 
     Returns:
         Mapping name → result.
@@ -337,8 +361,10 @@ def run_comparison(
             service_days=service_days,
             full_repair_cycles=full_repair_cycles,
             technician_pool=technician_pool,
+            obs=obs,
         )
-        results[name] = sim.run()
+        with obs.span("sim.run", cat="engine", strategy=name):
+            results[name] = sim.run()
     return results
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict
 
 from repro.core.constraints import CapacityConstraint
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.simulation.engine import MitigationSimulation, SimulationResult
 from repro.simulation.strategies import (
     CorrOptStrategy,
@@ -119,13 +120,14 @@ def chaos_scenario(**kwargs) -> Scenario:
 
 def standard_strategies(
     capacity: float,
+    obs: Recorder = NULL_RECORDER,
 ) -> Dict[str, Callable[[Topology], object]]:
     """The paper's strategy lineup, as factories over a fresh topology."""
     constraint = CapacityConstraint(capacity)
     return {
-        "corropt": lambda topo: CorrOptStrategy(topo, constraint),
+        "corropt": lambda topo: CorrOptStrategy(topo, constraint, obs=obs),
         "fast-checker-only": lambda topo: FastCheckerOnlyStrategy(
-            topo, constraint
+            topo, constraint, obs=obs
         ),
         "switch-local": lambda topo: SwitchLocalStrategy(topo, constraint),
         "none": lambda topo: NoMitigationStrategy(topo),
@@ -138,9 +140,10 @@ def run_scenario(
     repair_accuracy: float = 0.8,
     seed: int = 0,
     track_capacity: bool = True,
+    obs: Recorder = NULL_RECORDER,
 ) -> SimulationResult:
     """Run one strategy over a scenario on a fresh topology copy."""
-    factories = standard_strategies(scenario.capacity)
+    factories = standard_strategies(scenario.capacity, obs=obs)
     if strategy_name not in factories:
         raise ValueError(
             f"unknown strategy {strategy_name!r}; "
@@ -155,5 +158,6 @@ def run_scenario(
         repair_accuracy=repair_accuracy,
         seed=seed,
         track_capacity=track_capacity,
+        obs=obs,
     )
     return sim.run()

@@ -24,10 +24,11 @@ from typing import List, Optional
 
 from repro.core.constraints import CapacityConstraint
 from repro.core.fast_checker import FastChecker
-from repro.core.optimizer import GlobalOptimizer
+from repro.core.optimizer import GlobalOptimizer, OptimizerStats
 from repro.core.path_counting import PathCounter
 from repro.core.penalty import PenaltyFn, linear_penalty
 from repro.core.switch_local import SwitchLocalChecker
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.topology.elements import LinkId
 from repro.topology.graph import Topology
 
@@ -37,11 +38,14 @@ class MitigationStrategy:
 
     Strategies that count paths expose their :class:`PathCounter` as
     ``counter`` so the simulation engine can share it (one incremental DP
-    per run) instead of constructing its own.
+    per run) instead of constructing its own.  Strategies that run the
+    global optimizer accumulate its search statistics in
+    ``optimizer_stats`` (None for strategies that never invoke it).
     """
 
     name = "abstract"
     counter: Optional[PathCounter] = None
+    optimizer_stats: Optional[OptimizerStats] = None
 
     def on_onset(self, link_id: LinkId) -> bool:
         """Return True (and disable the link) when it can safely go down."""
@@ -62,19 +66,27 @@ class CorrOptStrategy(MitigationStrategy):
         topo: Topology,
         constraint: CapacityConstraint,
         penalty_fn: PenaltyFn = linear_penalty,
+        obs: Recorder = NULL_RECORDER,
     ):
         self.topo = topo
-        self.counter = PathCounter(topo)
-        self.fast_checker = FastChecker(topo, constraint, counter=self.counter)
-        self.optimizer = GlobalOptimizer(
-            topo, constraint, penalty_fn=penalty_fn, counter=self.counter
+        self.obs = obs
+        self.counter = PathCounter(topo, obs=obs)
+        self.fast_checker = FastChecker(
+            topo, constraint, counter=self.counter, obs=obs
         )
+        self.optimizer = GlobalOptimizer(
+            topo, constraint, penalty_fn=penalty_fn, counter=self.counter,
+            obs=obs,
+        )
+        self.optimizer_stats = OptimizerStats()
 
     def on_onset(self, link_id: LinkId) -> bool:
         return self.fast_checker.check_and_disable(link_id).allowed
 
     def on_activation(self) -> List[LinkId]:
-        return sorted(self.optimizer.optimize().to_disable)
+        result = self.optimizer.optimize()
+        self.optimizer_stats.merge(result.stats)
+        return sorted(result.to_disable)
 
 
 class FastCheckerOnlyStrategy(MitigationStrategy):
@@ -82,10 +94,18 @@ class FastCheckerOnlyStrategy(MitigationStrategy):
 
     name = "fast-checker-only"
 
-    def __init__(self, topo: Topology, constraint: CapacityConstraint):
+    def __init__(
+        self,
+        topo: Topology,
+        constraint: CapacityConstraint,
+        obs: Recorder = NULL_RECORDER,
+    ):
         self.topo = topo
-        self.counter = PathCounter(topo)
-        self.fast_checker = FastChecker(topo, constraint, counter=self.counter)
+        self.obs = obs
+        self.counter = PathCounter(topo, obs=obs)
+        self.fast_checker = FastChecker(
+            topo, constraint, counter=self.counter, obs=obs
+        )
 
     def on_onset(self, link_id: LinkId) -> bool:
         return self.fast_checker.check_and_disable(link_id).allowed
@@ -155,6 +175,7 @@ class DrainStrategy(CorrOptStrategy):
 
     def on_activation(self) -> List[LinkId]:
         result = self.optimizer.plan()
+        self.optimizer_stats.merge(result.stats)
         for lid in result.to_disable:
             self.topo.drain_link(lid)
         return sorted(result.to_disable)

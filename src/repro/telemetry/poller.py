@@ -10,8 +10,9 @@ TelemetryStore`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.telemetry.counters import CounterSnapshot, DirectionCounters
 from repro.telemetry.sanitizer import TelemetrySanitizer
 from repro.telemetry.store import TelemetryStore
@@ -58,6 +59,9 @@ class SnmpPoller:
             diffed, wrap/reset-corrected, and quality-flagged by the
             sanitizer instead of the poller's raw differencing, and every
             store append carries the sample's quality flag.
+        obs: Observability recorder; each poll emits a ``poll`` span with
+            ``poll.collect`` / ``poll.sanitize`` / ``poll.store`` children
+            plus missed-poll counters (no-op by default).
     """
 
     def __init__(
@@ -69,6 +73,7 @@ class SnmpPoller:
         interval_s: float = POLL_INTERVAL_S,
         transport=None,
         sanitizer: Optional[TelemetrySanitizer] = None,
+        obs: Recorder = NULL_RECORDER,
     ):
         self._topo = topo
         self._store = store
@@ -77,6 +82,7 @@ class SnmpPoller:
         self.interval_s = interval_s
         self.transport = transport
         self.sanitizer = sanitizer
+        self.obs = obs
         self._counters: Dict[DirectionId, DirectionCounters] = {}
         self._previous: Dict[DirectionId, CounterSnapshot] = {}
         self.missed_polls = 0
@@ -90,11 +96,40 @@ class SnmpPoller:
     def poll_once(self) -> float:
         """Advance one interval, accumulate counters, store loss rates.
 
+        The poll is organised in three phases — collect (device counters
+        and transport delivery), sanitize (diffing / quality rating), and
+        store — each traced as a child span of ``poll``.  Per-direction
+        processing order is identical to the historical single loop, so
+        fault-transport RNG consumption and sanitizer state transitions
+        are unchanged.
+
         Returns:
             The poll timestamp.
         """
         self.time_s += self.interval_s
         now = self.time_s
+        obs = self.obs
+        with obs.span("poll", cat="telemetry") as span:
+            with obs.span("poll.collect", cat="telemetry"):
+                deliveries = self._collect(now)
+            with obs.span("poll.sanitize", cat="telemetry"):
+                pending = self._sanitize(deliveries, now)
+            with obs.span("poll.store", cat="telemetry"):
+                self._store_pending(pending)
+            if obs.enabled:
+                span.set(directions=len(deliveries), stored=len(pending))
+                obs.count("polls_total")
+        return now
+
+    def _collect(
+        self, now: float
+    ) -> List[Tuple[DirectionId, List[CounterSnapshot]]]:
+        """Accumulate device counters and run transport delivery.
+
+        Returns one ``(direction_id, delivered snapshots)`` entry per
+        enabled direction; an empty delivery list marks a missed poll.
+        """
+        deliveries: List[Tuple[DirectionId, List[CounterSnapshot]]] = []
         for link in self._topo.links():
             if not link.enabled:
                 # A disabled link carries no traffic (§8 notes monitoring
@@ -117,36 +152,57 @@ class SnmpPoller:
                     delivered = self.transport.deliver(did, snap)
                 else:
                     delivered = [snap]
-                if not delivered:
-                    self.missed_polls += 1
-                    if self.sanitizer is not None:
-                        self.sanitizer.observe_missing(did, now)
-                    continue
-                for arrived in delivered:
-                    self._ingest(did, arrived)
-        return now
+                deliveries.append((did, delivered))
+        return deliveries
 
-    def _ingest(self, did: DirectionId, snap: CounterSnapshot) -> None:
-        """Route one delivered snapshot to the store.
+    def _sanitize(
+        self,
+        deliveries: List[Tuple[DirectionId, List[CounterSnapshot]]],
+        now: float,
+    ) -> List[Tuple[DirectionId, float, float, float, float, object]]:
+        """Turn deliveries into pending store appends.
 
-        With a sanitizer, diffing/quality assessment happens there; the
-        legacy path diffs raw snapshots exactly as before.
+        Each pending entry is ``(direction_id, time_s, corruption,
+        congestion, utilization, quality-or-None)``.
         """
+        obs = self.obs
+        pending: List[
+            Tuple[DirectionId, float, float, float, float, object]
+        ] = []
+        for did, delivered in deliveries:
+            if not delivered:
+                self.missed_polls += 1
+                if obs.enabled:
+                    obs.count("poller_missed_polls_total")
+                if self.sanitizer is not None:
+                    self.sanitizer.observe_missing(did, now)
+                continue
+            for snap in delivered:
+                entry = self._sanitize_one(did, snap)
+                if entry is not None:
+                    pending.append(entry)
+        return pending
+
+    def _sanitize_one(
+        self, did: DirectionId, snap: CounterSnapshot
+    ) -> Optional[Tuple[DirectionId, float, float, float, float, object]]:
+        """Rate one delivered snapshot (sanitizer or legacy raw diff)."""
         if self.sanitizer is not None:
             sample = self.sanitizer.ingest(
                 did, snap, capacity_pkts_per_s=self._capacity_pkts_per_s(did)
             )
-            if sample is not None:
-                self._store.append_rates(
-                    did,
-                    sample.time_s,
-                    corruption=sample.corruption,
-                    congestion=sample.congestion,
-                    utilization=sample.utilization,
-                    quality=sample.quality,
-                )
-            return
+            if sample is None:
+                return None
+            return (
+                did,
+                sample.time_s,
+                sample.corruption,
+                sample.congestion,
+                sample.utilization,
+                sample.quality,
+            )
         previous = self._previous.get(did)
+        entry = None
         if previous is not None and snap.time_s > previous.time_s:
             capacity = self._capacity_pkts_per_s(did)
             interval = snap.time_s - previous.time_s
@@ -154,15 +210,43 @@ class SnmpPoller:
             utilization = (
                 min(1.0, sent / (capacity * interval)) if capacity > 0 else 0.0
             )
-            self._store.append_rates(
+            entry = (
                 did,
                 snap.time_s,
-                corruption=snap.corruption_rate_since(previous),
-                congestion=snap.congestion_rate_since(previous),
-                utilization=utilization,
+                snap.corruption_rate_since(previous),
+                snap.congestion_rate_since(previous),
+                utilization,
+                None,
             )
         if previous is None or snap.time_s >= previous.time_s:
             self._previous[did] = snap
+        return entry
+
+    def _store_pending(
+        self,
+        pending: List[Tuple[DirectionId, float, float, float, float, object]],
+    ) -> None:
+        """Append the rated samples to the store, in sanitize order."""
+        for did, time_s, corruption, congestion, utilization, quality in (
+            pending
+        ):
+            if quality is not None:
+                self._store.append_rates(
+                    did,
+                    time_s,
+                    corruption=corruption,
+                    congestion=congestion,
+                    utilization=utilization,
+                    quality=quality,
+                )
+            else:
+                self._store.append_rates(
+                    did,
+                    time_s,
+                    corruption=corruption,
+                    congestion=congestion,
+                    utilization=utilization,
+                )
 
     def _capacity_pkts_per_s(self, direction_id: DirectionId) -> float:
         """Line rate in packets/second, assuming 1000-byte packets."""

@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional, Tuple
 
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.telemetry.counters import CounterSnapshot
 from repro.topology.elements import DirectionId, LinkId
 
@@ -44,10 +45,22 @@ class SampleQuality(enum.Enum):
     #                                is a best-effort guess
     MISSING = "missing"            # the poll never arrived
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default name hash — but C-speed, which matters for the per-sample
+    # set probes and count-dict keys on the sanitizer hot path.
+    __hash__ = object.__hash__
+
     @property
     def degraded(self) -> bool:
         """Whether this sample should count against quarantine."""
-        return self in (SampleQuality.SUSPECT, SampleQuality.MISSING)
+        return self in _DEGRADED_QUALITIES
+
+
+#: Membership here is the hot-path form of :attr:`SampleQuality.degraded`
+#: (a frozenset probe skips the property descriptor on per-sample paths).
+_DEGRADED_QUALITIES = frozenset(
+    (SampleQuality.SUSPECT, SampleQuality.MISSING)
+)
 
 
 @dataclass
@@ -104,6 +117,9 @@ class TelemetrySanitizer:
             degraded (SUSPECT/MISSING) samples in the window reaches this.
         min_window_samples: Quarantine needs at least this many samples in
             the window (a single bad first sample should not quarantine).
+        obs: Observability recorder; every rated sample bumps a
+            per-quality counter and quarantine enter/leave transitions are
+            counted and emitted as events (no-op by default).
     """
 
     def __init__(
@@ -113,6 +129,7 @@ class TelemetrySanitizer:
         window: int = 8,
         quarantine_threshold: float = 0.5,
         min_window_samples: int = 3,
+        obs: Recorder = NULL_RECORDER,
     ):
         if not 0.0 < quarantine_threshold <= 1.0:
             raise ValueError("quarantine threshold outside (0, 1]")
@@ -121,9 +138,16 @@ class TelemetrySanitizer:
         self.window = window
         self.quarantine_threshold = quarantine_threshold
         self.min_window_samples = min_window_samples
+        self.obs = obs
         self.stats = SanitizerStats()
         self._prev: Dict[DirectionId, CounterSnapshot] = {}
         self._quality: Dict[DirectionId, Deque[SampleQuality]] = {}
+        # Observability bookkeeping, only maintained while enabled: the
+        # set of directions last seen quarantined (churn detection) and
+        # batched per-quality sample counts (flushed at scrape time so the
+        # per-sample hot path stays one dict increment).
+        self._quarantined_dirs: set = set()
+        self._quality_counts: Dict[SampleQuality, int] = {}
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -136,6 +160,47 @@ class TelemetrySanitizer:
             direction_id, deque(maxlen=self.window)
         )
         window.append(quality)
+        if self.obs.enabled:
+            counts = self._quality_counts
+            counts[quality] = counts.get(quality, 0) + 1
+            # Quarantine can only *start* when the pushed sample is
+            # degraded (a clean sample never raises the degraded fraction)
+            # and only *end* when the direction was quarantined, so the
+            # O(window) verdict is recomputed just for those cases.
+            quarantined_dirs = self._quarantined_dirs
+            was_quarantined = direction_id in quarantined_dirs
+            if was_quarantined or quality in _DEGRADED_QUALITIES:
+                now_quarantined = self.quarantined(direction_id)
+                if now_quarantined != was_quarantined:
+                    if now_quarantined:
+                        quarantined_dirs.add(direction_id)
+                    else:
+                        quarantined_dirs.discard(direction_id)
+                    self.obs.count(
+                        "sanitizer_quarantine_transitions_total",
+                        transition="enter" if now_quarantined else "leave",
+                    )
+                    self.obs.gauge(
+                        "sanitizer_quarantined_directions",
+                        len(quarantined_dirs),
+                    )
+                    self.obs.event(
+                        "quarantine",
+                        direction="->".join(direction_id),
+                        entered=now_quarantined,
+                    )
+
+    def flush_obs_counts(self) -> None:
+        """Emit the batched per-quality sample counts to the recorder."""
+        if not self.obs.enabled:
+            return
+        counts = sorted(
+            (quality.value, count)
+            for quality, count in self._quality_counts.items()
+        )
+        for quality, count in counts:
+            self.obs.count("sanitizer_samples_total", count, quality=quality)
+        self._quality_counts.clear()
 
     def observe_missing(
         self, direction_id: DirectionId, time_s: float
@@ -316,7 +381,7 @@ class TelemetrySanitizer:
         window = self._quality.get(direction_id)
         if not window:
             return (0, 0)
-        degraded = sum(1 for q in window if q.degraded)
+        degraded = sum(1 for q in window if q in _DEGRADED_QUALITIES)
         return (degraded, len(window))
 
     def quarantined(self, direction_id: DirectionId) -> bool:

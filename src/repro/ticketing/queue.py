@@ -18,6 +18,7 @@ import heapq
 from collections import deque
 from typing import List, Optional, Tuple
 
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.ticketing.ticket import Ticket, TicketStatus
 
 TWO_DAYS_S = 2 * 86_400.0
@@ -30,10 +31,15 @@ class FixedDelayQueue:
     queue for two days, the average service time in our DCNs."
     """
 
-    def __init__(self, service_time_s: float = TWO_DAYS_S):
+    def __init__(
+        self,
+        service_time_s: float = TWO_DAYS_S,
+        obs: Recorder = NULL_RECORDER,
+    ):
         if service_time_s < 0:
             raise ValueError("service time cannot be negative")
         self.service_time_s = service_time_s
+        self.obs = obs
         self._heap: List[Tuple[float, int, Ticket]] = []
 
     def submit(self, ticket: Ticket, now_s: float) -> float:
@@ -41,6 +47,9 @@ class FixedDelayQueue:
         done_s = now_s + self.service_time_s
         heapq.heappush(self._heap, (done_s, ticket.ticket_id, ticket))
         ticket.status = TicketStatus.IN_SERVICE
+        if self.obs.enabled:
+            self.obs.count("ticket_submissions_total", queue="fixed")
+            self.obs.gauge("ticket_queue_depth", len(self._heap), queue="fixed")
         return done_s
 
     def pop_due(self, now_s: float) -> List[Ticket]:
@@ -48,6 +57,14 @@ class FixedDelayQueue:
         due = []
         while self._heap and self._heap[0][0] <= now_s:
             due.append(heapq.heappop(self._heap)[2])
+        if self.obs.enabled and due:
+            for ticket in due:
+                self.obs.observe(
+                    "ticket_wait_seconds",
+                    now_s - ticket.created_s,
+                    queue="fixed",
+                )
+            self.obs.gauge("ticket_queue_depth", len(self._heap), queue="fixed")
         return due
 
     def next_completion(self) -> Optional[float]:
@@ -67,11 +84,17 @@ class TechnicianPoolQueue:
     the queue").
     """
 
-    def __init__(self, num_technicians: int = 4, service_time_s: float = TWO_DAYS_S):
+    def __init__(
+        self,
+        num_technicians: int = 4,
+        service_time_s: float = TWO_DAYS_S,
+        obs: Recorder = NULL_RECORDER,
+    ):
         if num_technicians < 1:
             raise ValueError("need at least one technician")
         self.num_technicians = num_technicians
         self.service_time_s = service_time_s
+        self.obs = obs
         self._waiting: deque = deque()
         self._in_service: List[Tuple[float, int, Ticket]] = []
 
@@ -79,6 +102,12 @@ class TechnicianPoolQueue:
         """Enqueue a ticket (it starts service when a technician frees up)."""
         self._waiting.append(ticket)
         self._dispatch(now_s)
+        if self.obs.enabled:
+            self.obs.count("ticket_submissions_total", queue="pool")
+            self.obs.gauge("ticket_queue_depth", len(self), queue="pool")
+            self.obs.gauge(
+                "ticket_queue_backlog", len(self._waiting), queue="pool"
+            )
 
     def _dispatch(self, now_s: float) -> None:
         while self._waiting and len(self._in_service) < self.num_technicians:
@@ -95,6 +124,17 @@ class TechnicianPoolQueue:
         while self._in_service and self._in_service[0][0] <= now_s:
             due.append(heapq.heappop(self._in_service)[2])
         self._dispatch(now_s)
+        if self.obs.enabled and due:
+            for ticket in due:
+                self.obs.observe(
+                    "ticket_wait_seconds",
+                    now_s - ticket.created_s,
+                    queue="pool",
+                )
+            self.obs.gauge("ticket_queue_depth", len(self), queue="pool")
+            self.obs.gauge(
+                "ticket_queue_backlog", len(self._waiting), queue="pool"
+            )
         return due
 
     def next_completion(self) -> Optional[float]:

@@ -1,0 +1,116 @@
+"""CLI tests for observability artifacts and the `repro obs` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import (
+    validate_audit_jsonl,
+    validate_chrome_trace,
+    validate_events_jsonl,
+    validate_prometheus_text,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_artifacts(tmp_path_factory):
+    """One short instrumented chaos run emitting every artifact."""
+    out = tmp_path_factory.mktemp("chaos-artifacts")
+    code = main(
+        [
+            "chaos", "--preset", "mild", "--days", "1", "--scale", "0.08",
+            "--metrics-out", str(out / "metrics.prom"),
+            "--events-out", str(out / "events.jsonl"),
+            "--trace-out", str(out / "trace.json"),
+            "--manifest-out", str(out / "manifest.json"),
+            "--audit-out", str(out / "audit.jsonl"),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestChaosArtifacts:
+    def test_all_artifacts_written_and_valid(self, chaos_artifacts):
+        out = chaos_artifacts
+        prom = (out / "metrics.prom").read_text()
+        assert validate_prometheus_text(prom) == []
+        events = (out / "events.jsonl").read_text().splitlines()
+        assert validate_events_jsonl(events) == []
+        trace = json.loads((out / "trace.json").read_text())
+        assert validate_chrome_trace(trace) == []
+        audit = (out / "audit.jsonl").read_text().splitlines()
+        assert validate_audit_jsonl(audit) == []
+
+    def test_manifest_records_command_and_seeds(self, chaos_artifacts):
+        manifest = json.loads((chaos_artifacts / "manifest.json").read_text())
+        assert manifest["command"] == "chaos"
+        assert set(manifest["seeds"]) == {"trace", "repair", "faults"}
+        assert manifest["config"]["preset"] == "mild"
+        assert len(manifest["topology"]["digest"]) == 64
+
+    def test_trace_contains_pipeline_spans(self, chaos_artifacts):
+        trace = json.loads((chaos_artifacts / "trace.json").read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        for span in ("tick", "poll", "poll.sanitize", "chaos.detect"):
+            assert span in names
+
+    def test_obs_validate_accepts_artifacts(self, chaos_artifacts, capsys):
+        out = chaos_artifacts
+        code = main(
+            [
+                "obs", "--validate",
+                "--metrics", str(out / "metrics.prom"),
+                "--events", str(out / "events.jsonl"),
+                "--trace", str(out / "trace.json"),
+                "--audit", str(out / "audit.jsonl"),
+            ]
+        )
+        assert code == 0
+        assert "validation: OK" in capsys.readouterr().out
+
+    def test_obs_pretty_prints_audit(self, chaos_artifacts, capsys):
+        code = main(["obs", "--audit", str(chaos_artifacts / "audit.jsonl")])
+        assert code == 0
+        assert "decisions" in capsys.readouterr().out
+
+
+class TestObsCommand:
+    def test_no_input_is_an_error(self, capsys):
+        assert main(["obs"]) == 2
+
+    def test_validate_rejects_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.prom"
+        bad.write_text("not a prometheus file\n")
+        code = main(["obs", "--validate", "--metrics", str(bad)])
+        assert code == 1
+
+
+class TestSimulateArtifacts:
+    def test_metrics_and_trace_flags(self, tmp_path, capsys):
+        metrics = tmp_path / "sim.prom"
+        trace = tmp_path / "sim-trace.json"
+        code = main(
+            [
+                "simulate", "--dcn", "medium", "--scale", "0.1",
+                "--days", "5", "--events", "20",
+                "--metrics-out", str(metrics),
+                "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        assert validate_prometheus_text(metrics.read_text()) == []
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+        out = capsys.readouterr().out
+        assert "optimizer:" in out
+
+    def test_default_run_writes_nothing(self, tmp_path, capsys):
+        code = main(
+            [
+                "simulate", "--dcn", "medium", "--scale", "0.1",
+                "--days", "5", "--events", "20",
+            ]
+        )
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,70 @@
+"""Tests for run provenance: version, git SHA, topology digest."""
+
+import json
+
+from repro import __version__
+from repro.obs import RunManifest, build_manifest
+from repro.obs.manifest import git_sha, topology_digest
+from repro.topology import build_clos
+
+
+class TestVersionAndGit:
+    def test_manifest_carries_package_version(self):
+        manifest = build_manifest("test", with_git=False)
+        assert manifest.repro_version == __version__
+
+    def test_git_sha_is_best_effort(self):
+        # Must be a hex SHA in a checkout, or None elsewhere — never raise.
+        sha = git_sha()
+        assert sha is None or (len(sha) == 40 and int(sha, 16) >= 0)
+
+    def test_with_git_false_skips_lookup(self):
+        assert build_manifest("test", with_git=False).git_sha is None
+
+
+class TestTopologyDigest:
+    def test_digest_stable_across_rebuilds(self):
+        a = build_clos(num_pods=2, tors_per_pod=3, aggs_per_pod=2, num_spines=4)
+        b = build_clos(num_pods=2, tors_per_pod=3, aggs_per_pod=2, num_spines=4)
+        assert topology_digest(a) == topology_digest(b)
+
+    def test_digest_ignores_admin_state(self):
+        topo = build_clos(
+            num_pods=2, tors_per_pod=3, aggs_per_pod=2, num_spines=4
+        )
+        before = topology_digest(topo)
+        topo.disable_link(next(iter(topo.link_ids())))
+        assert topology_digest(topo) == before
+
+    def test_digest_distinguishes_structures(self):
+        a = build_clos(num_pods=2, tors_per_pod=3, aggs_per_pod=2, num_spines=4)
+        b = build_clos(num_pods=2, tors_per_pod=4, aggs_per_pod=2, num_spines=4)
+        assert topology_digest(a) != topology_digest(b)
+
+
+class TestManifestShape:
+    def test_build_manifest_summarizes_topology(self):
+        topo = build_clos(
+            num_pods=2, tors_per_pod=3, aggs_per_pod=2, num_spines=4
+        )
+        manifest = build_manifest(
+            "chaos",
+            config={"scale": 0.1},
+            seeds={"trace": 7},
+            topo=topo,
+            with_git=False,
+        )
+        assert manifest.command == "chaos"
+        assert manifest.config == {"scale": 0.1}
+        assert manifest.seeds == {"trace": 7}
+        assert manifest.topology["switches"] == topo.num_switches
+        assert manifest.topology["links"] == topo.num_links
+        assert len(manifest.topology["digest"]) == 64
+
+    def test_round_trips_through_json(self, tmp_path):
+        manifest = build_manifest("test", seeds={"trace": 1}, with_git=False)
+        path = tmp_path / "manifest.json"
+        manifest.write(path)
+        loaded = json.loads(path.read_text())
+        assert loaded == manifest.to_dict()
+        assert loaded["repro_version"] == __version__
