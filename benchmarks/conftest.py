@@ -9,15 +9,23 @@ be compared against the paper side by side (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
+import platform
 from pathlib import Path
-from typing import Iterable
+from typing import Dict, Iterable, Union
 
 import pytest
 
+from repro._version import __version__
+from repro.obs.schema import validate_benchmark_record
+from repro.parallel.runner import available_cpus
 from repro.simulation import make_scenario
 from repro.workloads import LARGE_DCN, MEDIUM_DCN, generate_study
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Bumped when the benchmark-record shape changes incompatibly.
+BENCHMARK_FORMAT_VERSION = 1
 
 #: Scales used by the simulation benchmarks.  Fanout is preserved by the
 #: profile builder, so decision behaviour matches full size while runs stay
@@ -36,6 +44,41 @@ def write_report(name: str, lines: Iterable[str]) -> Path:
     path.write_text(text + "\n", encoding="utf-8")
     print(f"\n[{name}]")
     print(text)
+    return path
+
+
+def write_benchmark_json(
+    name: str,
+    metrics: Dict[str, Union[int, float, bool]],
+    **extra,
+) -> Path:
+    """Persist a machine-readable benchmark record next to the txt report.
+
+    The record is validated against
+    :func:`repro.obs.schema.validate_benchmark_record` before writing, so
+    a malformed bench fails loudly instead of committing junk.
+    """
+    record = {
+        "format": "repro-benchmark",
+        "format_version": BENCHMARK_FORMAT_VERSION,
+        "repro_version": __version__,
+        "name": name,
+        "environment": {
+            "cpus": available_cpus(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "metrics": dict(metrics),
+    }
+    record.update(extra)
+    problems = validate_benchmark_record(record)
+    if problems:
+        raise ValueError(f"benchmark record {name!r} invalid: {problems}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return path
 
 

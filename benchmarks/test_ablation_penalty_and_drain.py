@@ -8,7 +8,12 @@
 
 import random
 
-from conftest import EVENTS_PER_10K, SIM_DAYS, write_report
+from conftest import (
+    EVENTS_PER_10K,
+    SIM_DAYS,
+    write_benchmark_json,
+    write_report,
+)
 
 from repro.core import (
     CapacityConstraint,
@@ -18,14 +23,8 @@ from repro.core import (
     tcp_throughput_penalty,
     total_penalty,
 )
-from repro.simulation import (
-    CorrOptStrategy,
-    DrainStrategy,
-    MitigationSimulation,
-    make_scenario,
-)
+from repro.parallel import JobSpec, available_cpus, run_sweep
 from repro.topology import build_clos, sprinkle_corruption
-from repro.workloads import MEDIUM_DCN
 
 
 def run_penalty_ablation():
@@ -58,34 +57,34 @@ def test_penalty_function_ablation(benchmark):
     assert len(rows) == 3
 
 
+def drain_specs():
+    """Medium DCN, c=75%: hard disable (corropt) vs §8 drain, one trace."""
+    return [
+        JobSpec(
+            preset="medium",
+            scale=0.3,
+            duration_days=float(SIM_DAYS // 2),
+            trace_seed=77,
+            events_per_10k=EVENTS_PER_10K,
+            capacity=0.75,
+            strategy=strategy,
+            repair_seed=0,
+            track_capacity=False,
+        )
+        for strategy in ("corropt", "drain")
+    ]
+
+
 def test_drain_vs_disable(benchmark):
     """§8 extension: drain mode makes the same decisions as hard disable
     (a drained link carries no traffic either), so penalties agree."""
-    scenario = make_scenario(
-        profile=MEDIUM_DCN,
-        scale=0.3,
-        duration_days=SIM_DAYS // 2,
-        seed=77,
-        capacity=0.75,
-        events_per_10k_links_per_day=EVENTS_PER_10K,
-    )
+    jobs = min(2, available_cpus())
 
     def run_both():
-        topo_a = scenario.topo_factory()
-        hard = MitigationSimulation(
-            topo_a,
-            scenario.trace,
-            CorrOptStrategy(topo_a, scenario.constraint()),
-            track_capacity=False,
-        ).run()
-        topo_b = scenario.topo_factory()
-        drain = MitigationSimulation(
-            topo_b,
-            scenario.trace,
-            DrainStrategy(topo_b, scenario.constraint()),
-            track_capacity=False,
-        ).run()
-        return hard, drain
+        sweep = run_sweep(drain_specs(), jobs=jobs)
+        assert not sweep.failures(), [r.error for r in sweep.failures()]
+        by_name = sweep.results_by_strategy()
+        return by_name["corropt"][0].result, by_name["drain"][0].result
 
     hard, drain = benchmark.pedantic(run_both, rounds=1, iterations=1)
     write_report(
@@ -97,5 +96,13 @@ def test_drain_vs_disable(benchmark):
             "expected: identical capacity decisions, equal penalties; drain "
             "additionally keeps optical monitoring alive while mitigated",
         ],
+    )
+    write_benchmark_json(
+        "ablation_drain_vs_disable",
+        metrics={
+            "hard_penalty_integral": hard.penalty_integral,
+            "drain_penalty_integral": drain.penalty_integral,
+            "jobs": jobs,
+        },
     )
     assert drain.penalty_integral <= hard.penalty_integral * 1.01

@@ -4,45 +4,76 @@ different capacity constraints, medium and large DCNs.
 Paper shape: at a lax constraint (25%) the two methods coincide (ratio 1);
 at 50% CorrOpt eliminates nearly all corruption on the medium DCN (ratio
 -> 0); at 75% the ratio is 3-6 orders of magnitude below 1.
+
+The campaign dispatches through the deterministic parallel runner: the
+8-job (constraint x strategy) grid produces identical numbers at any
+worker count, and each worker builds the (topology, trace) scenario once
+and reuses it across every constraint (see repro.parallel.worker).
 """
 
 import pytest
 
-from conftest import EVENTS_PER_10K, LARGE_SCALE, MEDIUM_SCALE, SIM_DAYS, write_report
+from conftest import (
+    EVENTS_PER_10K,
+    LARGE_SCALE,
+    MEDIUM_SCALE,
+    SIM_DAYS,
+    write_benchmark_json,
+    write_report,
+)
 
-from repro.simulation import make_scenario, run_scenario
-from repro.workloads import LARGE_DCN, MEDIUM_DCN
+from repro.parallel import JobSpec, available_cpus, run_sweep
 
 CONSTRAINTS = [0.25, 0.50, 0.75, 0.90]
+STRATEGIES = ("corropt", "switch-local")
 
 
-def penalty_ratio(profile, scale, capacity, seed):
-    scenario = make_scenario(
-        profile=profile,
-        scale=scale,
-        duration_days=SIM_DAYS,
-        seed=seed,
-        capacity=capacity,
-        events_per_10k_links_per_day=EVENTS_PER_10K,
-    )
-    corropt = run_scenario(scenario, "corropt", track_capacity=False)
-    local = run_scenario(scenario, "switch-local", track_capacity=False)
-    if local.penalty_integral <= 0:
-        return 1.0 if corropt.penalty_integral <= 0 else float("inf")
-    return corropt.penalty_integral / local.penalty_integral
+def figure17_specs(preset, scale):
+    """The grid: every constraint under both strategies, one shared trace."""
+    return [
+        JobSpec(
+            preset=preset,
+            scale=scale,
+            duration_days=float(SIM_DAYS),
+            trace_seed=300,
+            events_per_10k=EVENTS_PER_10K,
+            capacity=capacity,
+            strategy=strategy,
+            repair_seed=0,
+            track_capacity=False,
+        )
+        for capacity in CONSTRAINTS
+        for strategy in STRATEGIES
+    ]
+
+
+def penalty_ratios(preset, scale, jobs):
+    sweep = run_sweep(figure17_specs(preset, scale), jobs=jobs)
+    assert not sweep.failures(), [r.error for r in sweep.failures()]
+    integrals = {
+        (r.spec.capacity, r.spec.strategy): r.result.penalty_integral
+        for r in sweep.ok_records()
+    }
+    ratios = {}
+    for capacity in CONSTRAINTS:
+        corropt = integrals[(capacity, "corropt")]
+        local = integrals[(capacity, "switch-local")]
+        if local <= 0:
+            ratios[capacity] = 1.0 if corropt <= 0 else float("inf")
+        else:
+            ratios[capacity] = corropt / local
+    return ratios, sweep
 
 
 @pytest.mark.parametrize("which", ["medium", "large"])
 def test_figure17_penalty_ratio(benchmark, which):
-    profile = MEDIUM_DCN if which == "medium" else LARGE_DCN
     scale = MEDIUM_SCALE if which == "medium" else LARGE_SCALE
+    jobs = min(4, available_cpus())
 
     def sweep():
-        return {
-            c: penalty_ratio(profile, scale, c, seed=300) for c in CONSTRAINTS
-        }
+        return penalty_ratios(which, scale, jobs)
 
-    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratios, result = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     lines = [
         f"Figure 17 ({which} DCN) — CorrOpt penalty / switch-local penalty",
@@ -54,6 +85,16 @@ def test_figure17_penalty_ratio(benchmark, which):
         "paper: ratio 1 at c=25%; ~0 at c=50% (medium); 1e-3..1e-6 at c=75%"
     )
     write_report(f"fig17_penalty_ratio_{which}", lines)
+    write_benchmark_json(
+        f"fig17_penalty_ratio_{which}",
+        metrics={
+            **{f"ratio_c{int(c * 100)}": ratios[c] for c in CONSTRAINTS},
+            "jobs": jobs,
+            "wall_s": result.wall_s,
+            "cache_hits": result.cache_stats.get("hits", 0),
+            "cache_builds": result.cache_stats.get("misses", 0),
+        },
+    )
 
     # Lax constraint: both disable everything, ratio ~1.
     assert ratios[0.25] == pytest.approx(1.0, abs=0.05)

@@ -9,10 +9,12 @@ linearly with |E|.
 
 import pytest
 
-from conftest import write_report
+from conftest import write_benchmark_json, write_report
 
 from repro.core import CapacityConstraint, FastChecker
 from repro.workloads import LARGE_DCN, MEDIUM_DCN
+
+_METRICS = {}
 
 
 @pytest.fixture(scope="module")
@@ -30,6 +32,8 @@ def test_fast_checker_latency_large_dcn(benchmark, large_topo):
 
     stats = benchmark.stats.stats
     mean_ms = stats.mean * 1000.0
+    _METRICS["mean_ms_large"] = round(mean_ms, 3)
+    _METRICS["links_large"] = large_topo.num_links
     write_report(
         "runtime_fast_checker",
         [
@@ -51,4 +55,8 @@ def test_fast_checker_scales_linearly(benchmark):
     link = ("pod0/tor0", "pod0/agg0")
     topo.set_corruption(link, 1e-3)
     benchmark(lambda: checker.check(link))
-    assert benchmark.stats.stats.mean * 1000.0 < 1000.0
+    mean_ms = benchmark.stats.stats.mean * 1000.0
+    _METRICS["mean_ms_medium"] = round(mean_ms, 3)
+    _METRICS["links_medium"] = topo.num_links
+    write_benchmark_json("runtime_fast_checker", _METRICS)
+    assert mean_ms < 1000.0

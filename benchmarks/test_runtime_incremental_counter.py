@@ -15,7 +15,13 @@ import time
 
 import pytest
 
-from conftest import EVENTS_PER_10K, LARGE_SCALE, MEDIUM_SCALE, write_report
+from conftest import (
+    EVENTS_PER_10K,
+    LARGE_SCALE,
+    MEDIUM_SCALE,
+    write_benchmark_json,
+    write_report,
+)
 
 from repro.simulation import CorrOptStrategy, MitigationSimulation, make_scenario
 from repro.workloads import LARGE_DCN, MEDIUM_DCN
@@ -32,6 +38,7 @@ _REPORT_LINES = [
     "identical seeds per preset)",
     "",
 ]
+_METRICS = {}
 
 
 def _scenario(profile, scale, seed):
@@ -94,6 +101,11 @@ def _compare(name, scenario):
             "",
         ]
     )
+    tag = name.split()[0]
+    _METRICS[f"visit_ratio_{tag}"] = round(visit_ratio, 2)
+    _METRICS[f"wall_ratio_{tag}"] = round(wall_ratio, 2)
+    _METRICS[f"links_visited_full_{tag}"] = full_stats.links_visited
+    _METRICS[f"links_visited_incremental_{tag}"] = incr_stats.links_visited
     return visit_ratio, wall_ratio
 
 
@@ -122,3 +134,8 @@ def test_write_report(medium_bench_scenario, large_bench_scenario):
     """Runs last: persist whatever the two comparisons appended."""
     assert len(_REPORT_LINES) > 3, "comparisons did not run"
     write_report("runtime_incremental_counter", _REPORT_LINES)
+    write_benchmark_json(
+        "runtime_incremental_counter",
+        _METRICS,
+        config={"days": BENCH_DAYS, "events_per_10k": EVENTS_PER_10K},
+    )

@@ -13,11 +13,10 @@ Writes ``benchmarks/results/runtime_obs_overhead.json`` so CI archives the
 measured ratio alongside the figure tables.
 """
 
-import json
 import statistics
 import time
 
-from conftest import RESULTS_DIR, write_report
+from conftest import write_benchmark_json, write_report
 
 from repro.obs import ObsRecorder
 from repro.simulation.chaos import ChaosSimulation, chaos_preset
@@ -64,35 +63,35 @@ def test_enabled_instrumentation_overhead_under_10_percent():
     )
     assert summary["spans"] > 0 and summary["metrics"] > 0
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    payload = {
-        "benchmark": "runtime_obs_overhead",
-        "scenario": {
+    write_benchmark_json(
+        "runtime_obs_overhead",
+        {
+            "baseline_wall_s": round(baseline_s, 4),
+            "instrumented_wall_s": round(instrumented_s, 4),
+            "overhead_ratio": round(ratio, 4),
+            "max_allowed_ratio": MAX_OVERHEAD_RATIO,
+            "repeats": REPEATS,
+            "bit_identical": True,
+        },
+        scenario={
             "scale": SCALE,
             "duration_days": BENCH_DAYS,
             "preset": "mild",
             "polls": instrumented.chaos.polls,
         },
-        "repeats": REPEATS,
-        "baseline_wall_s": round(baseline_s, 4),
-        "baseline_wall_all_s": [round(t, 4) for t in baseline_times],
-        "instrumented_wall_s": round(instrumented_s, 4),
-        "instrumented_wall_all_s": [
-            round(t, 4) for t in instrumented_times
-        ],
-        "overhead_ratio": round(ratio, 4),
-        "max_allowed_ratio": MAX_OVERHEAD_RATIO,
-        "recorder": {
+        samples={
+            "baseline_wall_s": [round(t, 4) for t in baseline_times],
+            "instrumented_wall_s": [
+                round(t, 4) for t in instrumented_times
+            ],
+        },
+        recorder={
             "metrics": summary["metrics"],
             "spans": summary["spans"],
             "events": summary["events"],
             "dropped_spans": summary["dropped_spans"],
             "dropped_events": summary["dropped_events"],
         },
-        "bit_identical": True,
-    }
-    (RESULTS_DIR / "runtime_obs_overhead.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
     write_report(
         "runtime_obs_overhead",

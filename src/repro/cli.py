@@ -4,7 +4,10 @@ Subcommands mirror the system's operational surfaces:
 
 - ``topology``  — build a Clos/fat-tree topology and save it as JSON;
 - ``study``     — run the §2–3 measurement study and print its statistics;
-- ``simulate``  — replay a corruption trace under a mitigation strategy;
+- ``simulate``  — replay a corruption trace under a mitigation strategy
+  (or several at once with ``--strategies a,b --jobs N``);
+- ``sweep``     — run a strategies × capacities × seeds grid through the
+  deterministic parallel runner, emitting canonical JSONL;
 - ``chaos``     — closed-loop run with telemetry faults injected into the
   monitoring path (sanitizer + fail-safe controller in the loop);
 - ``recommend`` — run Algorithm 1 on one link's observed symptoms;
@@ -155,6 +158,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         events_per_10k_links_per_day=args.events,
     )
+    if args.strategies:
+        return _simulate_comparison(args, scenario)
     obs = NULL_RECORDER
     if _wants_obs(args):
         obs = _build_obs(
@@ -185,6 +190,102 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if obs.enabled:
         _write_obs_artifacts(obs, args)
     return 0
+
+
+def _simulate_comparison(args: argparse.Namespace, scenario) -> int:
+    """``simulate --strategies a,b,c``: same trace, several strategies."""
+    from repro.parallel.grid import parse_str_list
+    from repro.simulation.engine import run_comparison
+    from repro.simulation.scenarios import StrategyFactory, standard_strategies
+
+    names = parse_str_list(args.strategies)
+    lineup = standard_strategies(scenario.capacity)
+    factories = {
+        name: lineup.get(name, StrategyFactory(name, scenario.capacity))
+        for name in names
+    }
+    results = run_comparison(
+        scenario.topo_factory,
+        scenario.trace,
+        factories,
+        repair_accuracy=args.repair_accuracy,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    print(
+        f"{args.dcn} DCN (scale {args.scale}), c={scenario.capacity:.0%}, "
+        f"{len(scenario.trace)} events / {args.days} days, "
+        f"{args.jobs} worker(s)"
+    )
+    baseline = results[names[0]].penalty_integral
+    for name in names:
+        result = results[name]
+        ratio = (
+            result.penalty_integral / baseline if baseline > 0 else float("nan")
+        )
+        print(
+            f"  {name:<18s} penalty integral {result.penalty_integral:.3e} "
+            f"({ratio:5.2f}x vs {names[0]})"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a strategy/capacity/seed grid through the parallel runner."""
+    from repro.parallel import (
+        GridSpec,
+        ParallelRunner,
+        build_sweep_manifest,
+        parse_float_list,
+        parse_int_list,
+        parse_str_list,
+        summary_lines,
+        sweep_registry,
+        write_sweep_jsonl,
+    )
+
+    if args.grid:
+        grid = GridSpec.from_json_file(args.grid)
+    else:
+        grid = GridSpec(
+            presets=parse_str_list(args.presets),
+            strategies=parse_str_list(args.strategies),
+            capacities=parse_float_list(args.capacities),
+            trace_seeds=parse_int_list(args.seeds),
+            repair_seeds=(
+                parse_int_list(args.repair_seeds)
+                if args.repair_seeds
+                else None
+            ),
+            scale=args.scale,
+            duration_days=args.days,
+            events_per_10k=args.events,
+            repair_accuracy=args.repair_accuracy,
+        )
+    specs = grid.expand()
+    runner = ParallelRunner(
+        jobs=args.jobs,
+        max_retries=args.retries,
+        timeout_s=args.timeout,
+    )
+    sweep = runner.run(specs)
+    for line in summary_lines(sweep):
+        print(line)
+    if args.out:
+        write_sweep_jsonl(args.out, sweep, timing=not args.no_timing)
+        print(f"sweep results: {args.out}")
+    manifest = None
+    if args.metrics_out or args.manifest_out:
+        manifest = build_sweep_manifest(sweep, config=grid.to_dict())
+    if args.metrics_out:
+        from repro.obs.exporters import write_prometheus
+
+        write_prometheus(args.metrics_out, sweep_registry(sweep), manifest)
+        print(f"metrics snapshot: {args.metrics_out}")
+    if args.manifest_out:
+        manifest.write(args.manifest_out)
+        print(f"run manifest: {args.manifest_out}")
+    return 0 if not sweep.failures() else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -415,16 +516,41 @@ def _print_trace_summary(obj: dict) -> None:
         print(f"  {name}: {count} spans, {dur / 1e3:.1f} ms wall")
 
 
+def _print_sweep_summary(lines: List[str]) -> None:
+    header = json.loads(lines[0]) if lines else {}
+    rows = [json.loads(line) for line in lines[1:] if line.strip()]
+    ok = sum(1 for row in rows if row.get("status") == "ok")
+    print(
+        f"sweep: repro {header.get('repro_version', '?')}, "
+        f"{ok}/{header.get('jobs_total', len(rows))} jobs ok, "
+        f"grid {header.get('grid_digest', '?')[:18]}..."
+    )
+    for row in rows:
+        if row.get("status") != "ok":
+            error = row.get("error", {})
+            spec = row.get("spec", {})
+            print(
+                f"  job {row.get('job')}: FAILED {spec.get('strategy', '?')} "
+                f"({error.get('kind', '?')}: {error.get('message', '')})"
+            )
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import (
         validate_audit_jsonl,
         validate_chrome_trace,
         validate_events_jsonl,
         validate_prometheus_text,
+        validate_sweep_jsonl,
     )
 
-    if not any((args.audit, args.metrics, args.events, args.trace)):
-        print("nothing to inspect: pass --audit/--metrics/--events/--trace")
+    if not any(
+        (args.audit, args.metrics, args.events, args.trace, args.sweep)
+    ):
+        print(
+            "nothing to inspect: pass "
+            "--audit/--metrics/--events/--trace/--sweep"
+        )
         return 2
 
     problems: List[str] = []
@@ -447,6 +573,12 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             problems += [f"{args.trace}: {p}" for p in
                          validate_chrome_trace(obj)]
         _print_trace_summary(obj)
+    if args.sweep:
+        lines = _read_lines(args.sweep)
+        if args.validate:
+            problems += [f"{args.sweep}: {p}" for p in
+                         validate_sweep_jsonl(lines)]
+        _print_sweep_summary(lines)
     if args.audit:
         lines = _read_lines(args.audit)
         if args.validate:
@@ -501,8 +633,61 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--events", type=float, default=15.0)
     sim.add_argument("--repair-accuracy", type=float, default=0.8)
+    sim.add_argument(
+        "--strategies", metavar="A,B,...",
+        help="comparison mode: run several strategies over the same trace "
+             "(overrides --strategy; observability flags are ignored)",
+    )
+    sim.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for --strategies comparison (0 = all CPUs)",
+    )
     _add_obs_args(sim)
     sim.set_defaults(func=_cmd_simulate, audit_out=None)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a strategy/capacity/seed grid (optionally in parallel)",
+    )
+    sweep.add_argument(
+        "--grid", metavar="FILE.json",
+        help="grid spec as JSON (overrides the axis flags below)",
+    )
+    sweep.add_argument("--presets", default="medium",
+                       help="comma list of DCN presets (medium,large)")
+    sweep.add_argument("--strategies", default="corropt",
+                       help="comma list of strategies")
+    sweep.add_argument("--capacities", default="0.75",
+                       help="comma list of capacity constraints")
+    sweep.add_argument("--seeds", default="0",
+                       help="trace seeds: comma list or 'a:b' range")
+    sweep.add_argument(
+        "--repair-seeds", default=None,
+        help="explicit repair seeds aligned 1:1 with --seeds "
+             "(default: derived per job from its spec)",
+    )
+    sweep.add_argument("--scale", type=float, default=0.25)
+    sweep.add_argument("--days", type=float, default=30.0)
+    sweep.add_argument("--events", type=float, default=4.0)
+    sweep.add_argument("--repair-accuracy", type=float, default=0.8)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = all CPUs)")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="retry budget per job after crashes/exceptions")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="no-progress watchdog in seconds")
+    sweep.add_argument("--out", metavar="FILE.jsonl",
+                       help="write canonical JSONL results here")
+    sweep.add_argument(
+        "--no-timing", action="store_true",
+        help="omit wall-clock fields so outputs are byte-identical "
+             "across --jobs values",
+    )
+    sweep.add_argument("--metrics-out", metavar="FILE",
+                       help="write a Prometheus snapshot of sweep metrics")
+    sweep.add_argument("--manifest-out", metavar="FILE",
+                       help="write the sweep provenance manifest (JSON)")
+    sweep.set_defaults(func=_cmd_sweep)
 
     chaos = sub.add_parser(
         "chaos", help="closed-loop run with telemetry faults"
@@ -559,6 +744,7 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--metrics", metavar="FILE", help="Prometheus snapshot")
     obs.add_argument("--events", metavar="FILE", help="events JSONL stream")
     obs.add_argument("--trace", metavar="FILE", help="Chrome trace JSON")
+    obs.add_argument("--sweep", metavar="FILE", help="sweep results JSONL")
     obs.add_argument(
         "--validate", action="store_true",
         help="check every given file against its schema (exit 1 on problems)",

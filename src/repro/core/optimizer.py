@@ -306,7 +306,12 @@ class GlobalOptimizer:
         stats: OptimizerStats,
     ) -> Set[LinkId]:
         """Find the optimal subset of one segment's links to disable."""
-        links = sorted(segment.links, key=self._penalty, reverse=True)
+        # Tie-break equal penalties by link id: a stable sort over frozenset
+        # iteration order would leak hash randomisation into which optimal
+        # subset wins (visible with step penalties, where everything ties).
+        links = sorted(
+            segment.links, key=lambda lid: (-self._penalty(lid), lid)
+        )
         if not links:
             return set()
         tors = sorted(segment.tors)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.faults.condition import LinkCondition
@@ -53,9 +53,14 @@ def default_rate_sampler(rng: random.Random) -> float:
     return 10.0 ** rng.uniform(-8.0, -2.0)
 
 
-@dataclass
+@dataclass(frozen=True)
 class FaultEvent:
     """One corruption fault arriving in the network.
+
+    Frozen, with ``link_ids``/``conditions`` normalised to tuples: traces
+    are shared by reference between jobs (the parallel workers' scenario
+    cache hands one trace to every simulation built from it), so events
+    must be immutable for "same trace → same result" to hold.
 
     Attributes:
         time_s: Onset time (seconds since simulation start).
@@ -67,8 +72,12 @@ class FaultEvent:
 
     time_s: float
     fault: AnyFault
-    link_ids: List[LinkId]
-    conditions: List[LinkCondition] = field(default_factory=list)
+    link_ids: Sequence[LinkId]
+    conditions: Sequence[LinkCondition] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "link_ids", tuple(self.link_ids))
+        object.__setattr__(self, "conditions", tuple(self.conditions))
 
     @property
     def root_cause(self) -> RootCause:

@@ -40,9 +40,11 @@ from repro.obs.recorder import (  # noqa: F401
 from repro.obs.registry import MetricsRegistry  # noqa: F401
 from repro.obs.schema import (  # noqa: F401
     validate_audit_jsonl,
+    validate_benchmark_record,
     validate_chrome_trace,
     validate_events_jsonl,
     validate_prometheus_text,
+    validate_sweep_jsonl,
 )
 from repro.obs.session import ObsRecorder  # noqa: F401
 from repro.obs.tracing import SpanRecord, SpanTracer  # noqa: F401
@@ -64,9 +66,11 @@ __all__ = [
     "prometheus_text",
     "topology_digest",
     "validate_audit_jsonl",
+    "validate_benchmark_record",
     "validate_chrome_trace",
     "validate_events_jsonl",
     "validate_prometheus_text",
+    "validate_sweep_jsonl",
     "write_chrome_trace",
     "write_events_jsonl",
     "write_prometheus",

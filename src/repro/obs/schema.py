@@ -179,3 +179,112 @@ def validate_audit_jsonl(lines: Sequence[str]) -> List[str]:
         if not isinstance(record.get("verdict"), str):
             problems.append(f"line {lineno}: missing string 'verdict'")
     return problems
+
+
+def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
+    """Problems with a ``repro sweep`` JSONL export (empty list = valid)."""
+    problems: List[str] = []
+    if not lines:
+        return ["empty stream"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"line 1: invalid JSON ({exc})"]
+    if not isinstance(header, dict) or header.get("type") != "header":
+        problems.append("line 1: first record must have type 'header'")
+    else:
+        if header.get("format") != "repro-sweep":
+            problems.append("line 1: wrong or missing 'format'")
+        if not isinstance(header.get("format_version"), int):
+            problems.append("line 1: missing integer 'format_version'")
+        if not header.get("repro_version"):
+            problems.append("line 1: missing 'repro_version'")
+        if not isinstance(header.get("jobs_total"), int):
+            problems.append("line 1: missing integer 'jobs_total'")
+        digest = header.get("grid_digest", "")
+        if not (isinstance(digest, str) and digest.startswith("sha256:")):
+            problems.append("line 1: missing sha256 'grid_digest'")
+
+    jobs_seen = 0
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: record is not an object")
+            continue
+        if record.get("type") != "result":
+            problems.append(
+                f"line {lineno}: unknown type {record.get('type')!r}"
+            )
+            continue
+        jobs_seen += 1
+        if not isinstance(record.get("job"), int):
+            problems.append(f"line {lineno}: missing integer 'job'")
+        if not isinstance(record.get("spec"), dict):
+            problems.append(f"line {lineno}: missing object 'spec'")
+        if not isinstance(record.get("seed_used"), int):
+            problems.append(f"line {lineno}: missing integer 'seed_used'")
+        status = record.get("status")
+        if status not in ("ok", "failed"):
+            problems.append(f"line {lineno}: bad status {status!r}")
+        elif status == "ok" and record.get("spec", {}).get("kind") != (
+            "calibrate"
+        ):
+            for key in ("penalty_integral", "duration_s"):
+                if not isinstance(record.get(key), (int, float)):
+                    problems.append(
+                        f"line {lineno}: ok result missing numeric {key!r}"
+                    )
+            digest = record.get("series_digest", "")
+            if not (isinstance(digest, str) and digest.startswith("sha256:")):
+                problems.append(
+                    f"line {lineno}: missing sha256 'series_digest'"
+                )
+        elif status == "failed":
+            error = record.get("error")
+            if not (isinstance(error, dict) and error.get("kind")):
+                problems.append(
+                    f"line {lineno}: failed result missing structured 'error'"
+                )
+    if isinstance(header, dict) and isinstance(header.get("jobs_total"), int):
+        if jobs_seen != header["jobs_total"]:
+            problems.append(
+                f"header says jobs_total={header['jobs_total']} but stream "
+                f"has {jobs_seen} result rows"
+            )
+    return problems
+
+
+def validate_benchmark_record(record: object) -> List[str]:
+    """Problems with a machine-readable benchmark result (empty = valid).
+
+    Every ``benchmarks/test_runtime_*`` module writes one of these next to
+    its human-readable summary so regressions are diffable by tooling.
+    """
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return ["benchmark record is not a JSON object"]
+    if record.get("format") != "repro-benchmark":
+        problems.append("wrong or missing 'format' (want 'repro-benchmark')")
+    if not isinstance(record.get("format_version"), int):
+        problems.append("missing integer 'format_version'")
+    if not record.get("repro_version"):
+        problems.append("missing 'repro_version'")
+    if not isinstance(record.get("name"), str) or not record.get("name"):
+        problems.append("missing non-empty string 'name'")
+    env = record.get("environment")
+    if not isinstance(env, dict) or not isinstance(env.get("cpus"), int):
+        problems.append("missing environment.cpus")
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("missing non-empty 'metrics' object")
+    else:
+        for key, value in metrics.items():
+            if not isinstance(value, (int, float, bool)):
+                problems.append(f"metrics[{key!r}] is not numeric")
+    return problems

@@ -1,0 +1,77 @@
+"""Deterministic parallel campaign execution (DESIGN.md §10).
+
+The §7 evaluation is a sweep — presets × capacities × strategies ×
+seeds — and every cell is embarrassingly parallel: a fresh topology
+copy, a shared immutable trace, an explicit seed.  This package turns
+that structure into a process-pool execution layer whose results are
+bit-identical at any worker count:
+
+- :class:`~repro.parallel.spec.JobSpec` — picklable job descriptions
+  with spec-derived seeds (:func:`~repro.parallel.spec.job_seed`);
+- :class:`~repro.parallel.runner.ParallelRunner` — serial and
+  process-pool backends with worker-local scenario caching, bounded
+  crash retry, and a hang watchdog;
+- :class:`~repro.parallel.grid.GridSpec` — the declarative `repro
+  sweep` grid format;
+- :mod:`~repro.parallel.aggregate` — canonical JSONL output, merged
+  optimizer stats and metrics, provenance manifests.
+"""
+
+from repro.parallel.aggregate import (
+    build_sweep_manifest,
+    merge_optimizer_stats,
+    record_row,
+    series_digest,
+    summary_lines,
+    sweep_registry,
+    sweep_rows,
+    write_sweep_jsonl,
+)
+from repro.parallel.grid import (
+    GridSpec,
+    calibration_grid,
+    parse_float_list,
+    parse_int_list,
+    parse_str_list,
+)
+from repro.parallel.runner import (
+    ParallelRunner,
+    SweepResult,
+    available_cpus,
+    run_sweep,
+)
+from repro.parallel.spec import JobSpec, job_seed
+from repro.parallel.worker import (
+    JobRecord,
+    ScenarioCache,
+    build_strategy,
+    execute_job,
+    worker_cache,
+)
+
+__all__ = [
+    "GridSpec",
+    "JobRecord",
+    "JobSpec",
+    "ParallelRunner",
+    "ScenarioCache",
+    "SweepResult",
+    "available_cpus",
+    "build_strategy",
+    "build_sweep_manifest",
+    "calibration_grid",
+    "execute_job",
+    "job_seed",
+    "merge_optimizer_stats",
+    "parse_float_list",
+    "parse_int_list",
+    "parse_str_list",
+    "record_row",
+    "run_sweep",
+    "series_digest",
+    "summary_lines",
+    "sweep_registry",
+    "sweep_rows",
+    "worker_cache",
+    "write_sweep_jsonl",
+]

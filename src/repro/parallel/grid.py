@@ -1,0 +1,134 @@
+"""Declarative sweep grids: the `repro sweep` input format.
+
+A :class:`GridSpec` is the §7-style cross-product — presets × strategies
+× capacities × trace seeds — plus the scalar knobs shared by every cell.
+``expand()`` flattens it into :class:`~repro.parallel.spec.JobSpec`\\ s in
+a fixed nesting order (preset, capacity, strategy, trace seed), so the
+same grid always yields the same job list, which is what makes sweep
+outputs byte-comparable across worker counts.
+
+Grids parse from CLI flags (comma lists, ``a:b`` integer ranges) or from
+a JSON file (the same field names; see DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.parallel.spec import JobSpec
+
+
+def parse_int_list(text: str) -> List[int]:
+    """``"0,3,7"`` → [0, 3, 7]; ``"0:4"`` → [0, 1, 2, 3]."""
+    text = text.strip()
+    if ":" in text:
+        lo, hi = text.split(":", 1)
+        return list(range(int(lo), int(hi)))
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def parse_float_list(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part.strip()]
+
+
+def parse_str_list(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+@dataclass
+class GridSpec:
+    """A sweep grid; every list axis multiplies the job count.
+
+    ``repair_seeds`` pairs with ``trace_seeds`` positionally when given
+    (must be the same length); when omitted, each job derives its repair
+    seed from its spec (:func:`~repro.parallel.spec.job_seed`).
+    """
+
+    presets: List[str] = field(default_factory=lambda: ["medium"])
+    strategies: List[str] = field(default_factory=lambda: ["corropt"])
+    capacities: List[float] = field(default_factory=lambda: [0.75])
+    trace_seeds: List[int] = field(default_factory=lambda: [0])
+    repair_seeds: Optional[List[int]] = None
+    scale: float = 0.25
+    duration_days: float = 30.0
+    events_per_10k: float = 4.0
+    repair_accuracy: float = 0.8
+    track_capacity: bool = True
+    penalty: str = "linear"
+    service_days: float = 2.0
+    full_repair_cycles: bool = False
+    technician_pool: Optional[int] = None
+
+    def __post_init__(self):
+        if self.repair_seeds is not None and len(self.repair_seeds) != len(
+            self.trace_seeds
+        ):
+            raise ValueError(
+                "repair_seeds must align 1:1 with trace_seeds "
+                f"({len(self.repair_seeds)} vs {len(self.trace_seeds)})"
+            )
+
+    def expand(self) -> List[JobSpec]:
+        """Flatten to jobs in (preset, capacity, strategy, seed) order."""
+        specs: List[JobSpec] = []
+        for preset in self.presets:
+            for capacity in self.capacities:
+                for strategy in self.strategies:
+                    for position, trace_seed in enumerate(self.trace_seeds):
+                        repair_seed = None
+                        if self.repair_seeds is not None:
+                            repair_seed = self.repair_seeds[position]
+                        specs.append(
+                            JobSpec(
+                                preset=preset,
+                                scale=self.scale,
+                                duration_days=self.duration_days,
+                                trace_seed=trace_seed,
+                                events_per_10k=self.events_per_10k,
+                                capacity=capacity,
+                                strategy=strategy,
+                                penalty=self.penalty,
+                                repair_accuracy=self.repair_accuracy,
+                                repair_seed=repair_seed,
+                                track_capacity=self.track_capacity,
+                                service_days=self.service_days,
+                                full_repair_cycles=self.full_repair_cycles,
+                                technician_pool=self.technician_pool,
+                            )
+                        )
+        return specs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GridSpec":
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown grid fields: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json_file(cls, path: Union[str, Path]) -> "GridSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def calibration_grid(
+    num_jobs: int,
+    sleep_ms: float = 0.0,
+    spin_ms: float = 0.0,
+) -> List[JobSpec]:
+    """A grid of identical-cost calibration jobs (harness benchmarks)."""
+    return [
+        JobSpec(
+            kind="calibrate",
+            trace_seed=index,  # distinguishes specs (and their tokens)
+            knobs=(("sleep_ms", sleep_ms), ("spin_ms", spin_ms)),
+        )
+        for index in range(num_jobs)
+    ]

@@ -1,0 +1,211 @@
+"""Declarative job specifications for parallel campaigns.
+
+A :class:`JobSpec` names everything one simulation run needs — preset,
+scale, trace seed, strategy, capacity, repair-model knobs — without
+holding any live object (no :class:`~repro.topology.graph.Topology`, no
+trace).  Specs are frozen, hashable, and picklable, so they can cross
+process boundaries and serve as cache keys.
+
+Seed derivation is the determinism linchpin: when a spec does not pin an
+explicit ``repair_seed``, its effective seed is :func:`job_seed` — a pure
+function of the spec's canonical JSON via SHA-256.  Results therefore
+depend only on the spec, never on worker count, chunking, or completion
+order, and the derivation is stable across Python versions and platforms
+(``repr(float)`` has been shortest-roundtrip since CPython 3.1, and
+SHA-256 is SHA-256 everywhere).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
+
+#: Strategy names a spec may request (superset of the §7.1 lineup; the
+#: §8 drain extension is opt-in and never added to comparison campaigns
+#: implicitly).
+KNOWN_STRATEGIES = (
+    "corropt",
+    "fast-checker-only",
+    "switch-local",
+    "none",
+    "drain",
+)
+
+#: Penalty functions addressable by name (see :mod:`repro.core.penalty`).
+KNOWN_PENALTIES = ("linear", "tcp-throughput", "step")
+
+#: Built-in scenario presets (resolved in :mod:`repro.parallel.worker`).
+KNOWN_PRESETS = ("medium", "large")
+
+#: Job kinds: real simulation runs, and deterministic harness-calibration
+#: jobs (spin/sleep/crash/hang) used by the runner's own tests and the
+#: pool-overhead benchmark.
+KNOWN_KINDS = ("simulate", "calibrate")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One campaign job, fully described by value.
+
+    Attributes:
+        kind: ``"simulate"`` (default) or ``"calibrate"``.
+        preset: Built-in profile name (``medium``/``large``) — ignored
+            when ``profile_shape`` is given.
+        profile_shape: Optional custom Clos shape
+            ``(name, pods, tors_per_pod, aggs_per_pod, num_spines)`` for
+            campaigns that sweep bespoke topologies.
+        scale: Shape-preserving topology scale factor.
+        duration_days: Trace horizon.
+        trace_seed: Seed of the corruption trace generator.
+        events_per_10k: Fault arrival intensity (events/10K links/day).
+        dedup_trace: Collapse repeat onsets per link (what
+            :func:`~repro.simulation.scenarios.make_scenario` does); the
+            technician-pool ablation runs the raw trace.
+        capacity: Per-ToR capacity constraint ``c``.
+        strategy: Mitigation strategy name.
+        penalty: Penalty-function name (``I(f)``).
+        repair_accuracy: First-attempt repair success probability.
+        repair_seed: Explicit repair RNG seed; ``None`` derives one from
+            the spec via :func:`job_seed`.
+        track_capacity: Record the ToR path-fraction series.
+        service_days: Ticket service time per attempt.
+        full_repair_cycles: Simulate failed repairs as re-enable cycles.
+        technician_pool: Optional FIFO repair-crew size.
+        knobs: Calibration knobs as a sorted tuple of ``(name, value)``
+            pairs (kept a tuple so the spec stays hashable).
+    """
+
+    kind: str = "simulate"
+    preset: str = "medium"
+    profile_shape: Optional[Tuple[str, int, int, int, int]] = None
+    scale: float = 0.25
+    duration_days: float = 30.0
+    trace_seed: int = 0
+    events_per_10k: float = 4.0
+    dedup_trace: bool = True
+    capacity: float = 0.75
+    strategy: str = "corropt"
+    penalty: str = "linear"
+    repair_accuracy: float = 0.8
+    repair_seed: Optional[int] = None
+    track_capacity: bool = True
+    service_days: float = 2.0
+    full_repair_cycles: bool = False
+    technician_pool: Optional[int] = None
+    knobs: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an unrunnable spec."""
+        if self.kind not in KNOWN_KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.kind == "calibrate":
+            return
+        if self.profile_shape is None and self.preset not in KNOWN_PRESETS:
+            raise ValueError(
+                f"unknown preset {self.preset!r}; "
+                f"choose from {sorted(KNOWN_PRESETS)} or give profile_shape"
+            )
+        if self.strategy not in KNOWN_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; "
+                f"choose from {sorted(KNOWN_STRATEGIES)}"
+            )
+        if self.penalty not in KNOWN_PENALTIES:
+            raise ValueError(
+                f"unknown penalty {self.penalty!r}; "
+                f"choose from {sorted(KNOWN_PENALTIES)}"
+            )
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.duration_days < 0:
+            raise ValueError("duration must be non-negative")
+        if not 0.0 <= self.repair_accuracy <= 1.0:
+            raise ValueError("repair accuracy outside [0, 1]")
+        if not 0.0 < self.capacity <= 1.0:
+            raise ValueError("capacity constraint outside (0, 1]")
+
+    # ------------------------------------------------------------------ #
+    # Canonical form and seeds
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe canonical dict (tuples become lists)."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = [list(v) if isinstance(v, tuple) else v for v in value]
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown JobSpec fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        if kwargs.get("profile_shape") is not None:
+            kwargs["profile_shape"] = tuple(kwargs["profile_shape"])
+        if kwargs.get("knobs"):
+            kwargs["knobs"] = tuple(
+                tuple(pair) for pair in kwargs["knobs"]
+            )
+        else:
+            kwargs["knobs"] = ()
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Key-sorted, whitespace-free JSON — the hashing preimage."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def job_seed(self) -> int:
+        """Spec-derived 63-bit seed; see :func:`job_seed`."""
+        return job_seed(self)
+
+    def seed_used(self) -> int:
+        """The repair seed this job actually runs with."""
+        if self.repair_seed is not None:
+            return self.repair_seed
+        return self.job_seed()
+
+    def scenario_key(self) -> Tuple:
+        """Worker-cache key: everything that shapes the topology + trace.
+
+        Deliberately excludes capacity, strategy, and repair-model knobs —
+        jobs differing only in those share one cached (topology, trace)
+        pair and run on per-job copies.
+        """
+        return (
+            self.preset,
+            self.profile_shape,
+            self.scale,
+            self.duration_days,
+            self.trace_seed,
+            self.events_per_10k,
+            self.dedup_trace,
+        )
+
+    def knobs_dict(self) -> Dict[str, float]:
+        return dict(self.knobs)
+
+
+def job_seed(spec: JobSpec) -> int:
+    """Derive a deterministic 63-bit seed from a spec.
+
+    SHA-256 over the canonical JSON, truncated to 63 bits (kept positive
+    so it round-trips through every RNG-seed signature).  Pure function
+    of the spec: equal specs map to equal seeds on any worker, in any
+    order, on any supported Python.
+    """
+    digest = hashlib.sha256(spec.canonical_json().encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

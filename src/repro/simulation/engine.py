@@ -308,6 +308,15 @@ class MitigationSimulation:
             self._schedule_repair(heap, time_s, newly_disabled)
 
 
+def _comparison_task(payload) -> SimulationResult:
+    """One strategy's comparison run (module-level so pools can pickle it)."""
+    topo_factory, trace, factory, kwargs = payload
+    topo = topo_factory()
+    strategy = factory(topo)
+    sim = MitigationSimulation(topo, trace, strategy, **kwargs)
+    return sim.run()
+
+
 def run_comparison(
     topo_factory,
     trace: CorruptionTrace,
@@ -320,6 +329,7 @@ def run_comparison(
     full_repair_cycles: bool = False,
     technician_pool: Optional[int] = None,
     obs: Recorder = NULL_RECORDER,
+    jobs: int = 1,
 ) -> Dict[str, SimulationResult]:
     """Run the same trace under several strategies on fresh topology copies.
 
@@ -341,28 +351,48 @@ def run_comparison(
             run (ablations that vary the repair model route through here).
         obs: Observability recorder shared by every run (no-op by
             default); per-strategy work is distinguishable by the
-            ``strategy`` span attribute.
+            ``strategy`` span attribute.  Live recorders are
+            serial-only — they hold process-local state that cannot be
+            shipped to workers.
+        jobs: Worker processes.  ``1`` (default) preserves the historic
+            in-process loop bit-for-bit; ``>1`` fans strategies out via
+            :class:`repro.parallel.ParallelRunner`, with results
+            reassembled in ``strategies`` iteration order so the mapping
+            is identical either way.
 
     Returns:
         Mapping name → result.
     """
+    kwargs = dict(
+        repair_accuracy=repair_accuracy,
+        seed=seed,
+        track_capacity=track_capacity,
+        penalty_fn=penalty_fn or linear_penalty,
+        service_days=service_days,
+        full_repair_cycles=full_repair_cycles,
+        technician_pool=technician_pool,
+    )
+    names = list(strategies)
+    if jobs != 1 and len(names) > 1:
+        if obs is not NULL_RECORDER:
+            raise ValueError(
+                "run_comparison(jobs>1) requires the default no-op "
+                "recorder; live recorders are process-local"
+            )
+        from repro.parallel.runner import ParallelRunner
+
+        payloads = [
+            (topo_factory, trace, strategies[name], kwargs) for name in names
+        ]
+        runner = ParallelRunner(jobs=jobs)
+        outcomes = runner.map_tasks(_comparison_task, payloads)
+        return dict(zip(names, outcomes))
+
     results: Dict[str, SimulationResult] = {}
     for name, factory in strategies.items():
         topo = topo_factory()
         strategy = factory(topo)
-        sim = MitigationSimulation(
-            topo,
-            trace,
-            strategy,
-            repair_accuracy=repair_accuracy,
-            seed=seed,
-            track_capacity=track_capacity,
-            penalty_fn=penalty_fn or linear_penalty,
-            service_days=service_days,
-            full_repair_cycles=full_repair_cycles,
-            technician_pool=technician_pool,
-            obs=obs,
-        )
+        sim = MitigationSimulation(topo, trace, strategy, obs=obs, **kwargs)
         with obs.span("sim.run", cat="engine", strategy=name):
             results[name] = sim.run()
     return results

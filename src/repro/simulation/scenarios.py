@@ -8,17 +8,15 @@ and CI runs stay fast; benchmarks can run closer to paper size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict
+from dataclasses import dataclass, field
+from typing import Dict
 
 from repro.core.constraints import CapacityConstraint
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.simulation.engine import MitigationSimulation, SimulationResult
 from repro.simulation.strategies import (
-    CorrOptStrategy,
-    FastCheckerOnlyStrategy,
-    NoMitigationStrategy,
-    SwitchLocalStrategy,
+    MitigationStrategy,
+    build_strategy,
 )
 from repro.topology.graph import Topology
 from repro.workloads.dcn_profiles import DCNProfile, LARGE_DCN, MEDIUM_DCN
@@ -62,21 +60,26 @@ def make_scenario(
     seed: int = 0,
     capacity: float = 0.75,
     events_per_10k_links_per_day: float = 4.0,
+    dedup: bool = True,
 ) -> Scenario:
     """Build a scenario: scaled topology + corruption trace.
 
-    Traces are deduplicated so each link has at most one outstanding fault,
-    matching the simulator's link-lifecycle model.
+    By default traces are deduplicated so each link has at most one
+    outstanding fault, matching the simulator's link-lifecycle model;
+    ``dedup=False`` keeps the raw generator output (the technician-pool
+    ablation stresses overlapping tickets).  This is the single build
+    path shared by in-process campaigns and pool workers
+    (:mod:`repro.parallel.worker`).
     """
     topo = profile.build(scale=scale)
-    trace = deduplicate_active(
-        generate_trace(
-            topo,
-            duration_days=duration_days,
-            seed=seed,
-            events_per_10k_links_per_day=events_per_10k_links_per_day,
-        )
+    trace = generate_trace(
+        topo,
+        duration_days=duration_days,
+        seed=seed,
+        events_per_10k_links_per_day=events_per_10k_links_per_day,
     )
+    if dedup:
+        trace = deduplicate_active(trace)
     scenario = Scenario(
         name=f"{profile.name}-x{scale}",
         profile=profile,
@@ -118,19 +121,35 @@ def chaos_scenario(**kwargs) -> Scenario:
     return make_scenario(**defaults)
 
 
+@dataclass(frozen=True)
+class StrategyFactory:
+    """A picklable strategy constructor: ``factory(topo) → strategy``.
+
+    Replaces the closure-based factories so comparison campaigns can ship
+    factories to pool workers (``run_comparison(jobs=N)``); with a no-op
+    recorder every field pickles.  Live recorders still work for serial
+    runs but make the factory unpicklable — the runner rejects that
+    combination explicitly.
+    """
+
+    name: str
+    capacity: float
+    obs: Recorder = field(default=NULL_RECORDER, compare=False)
+
+    def __call__(self, topo: Topology) -> MitigationStrategy:
+        return build_strategy(
+            self.name, topo, CapacityConstraint(self.capacity), obs=self.obs
+        )
+
+
 def standard_strategies(
     capacity: float,
     obs: Recorder = NULL_RECORDER,
-) -> Dict[str, Callable[[Topology], object]]:
+) -> Dict[str, StrategyFactory]:
     """The paper's strategy lineup, as factories over a fresh topology."""
-    constraint = CapacityConstraint(capacity)
     return {
-        "corropt": lambda topo: CorrOptStrategy(topo, constraint, obs=obs),
-        "fast-checker-only": lambda topo: FastCheckerOnlyStrategy(
-            topo, constraint, obs=obs
-        ),
-        "switch-local": lambda topo: SwitchLocalStrategy(topo, constraint),
-        "none": lambda topo: NoMitigationStrategy(topo),
+        name: StrategyFactory(name, capacity, obs=obs)
+        for name in ("corropt", "fast-checker-only", "switch-local", "none")
     }
 
 

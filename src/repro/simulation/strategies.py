@@ -179,3 +179,40 @@ class DrainStrategy(CorrOptStrategy):
         for lid in result.to_disable:
             self.topo.drain_link(lid)
         return sorted(result.to_disable)
+
+
+#: Every constructible strategy name, in the paper's presentation order.
+STRATEGY_NAMES = (
+    "corropt",
+    "fast-checker-only",
+    "switch-local",
+    "none",
+    "drain",
+)
+
+
+def build_strategy(
+    name: str,
+    topo: Topology,
+    constraint: CapacityConstraint,
+    penalty_fn: PenaltyFn = linear_penalty,
+    obs: Recorder = NULL_RECORDER,
+) -> MitigationStrategy:
+    """Construct a strategy by name on a live topology.
+
+    The single switch point shared by scenarios, the parallel worker and
+    the CLI, so strategy names mean the same thing everywhere.
+    """
+    if name == "corropt":
+        return CorrOptStrategy(topo, constraint, penalty_fn=penalty_fn, obs=obs)
+    if name == "fast-checker-only":
+        return FastCheckerOnlyStrategy(topo, constraint, obs=obs)
+    if name == "switch-local":
+        return SwitchLocalStrategy(topo, constraint)
+    if name == "none":
+        return NoMitigationStrategy(topo)
+    if name == "drain":
+        return DrainStrategy(topo, constraint, penalty_fn=penalty_fn, obs=obs)
+    raise ValueError(
+        f"unknown strategy {name!r}; choose from {list(STRATEGY_NAMES)}"
+    )

@@ -192,3 +192,53 @@ class TestObjective:
         assert len(result.kept_active & set(pod0_links)) == 1
         # The pods are independent segments.
         assert result.stats.num_segments == 2
+
+
+class TestTieBreakDeterminism:
+    """Equal-penalty optima must resolve independently of hash order.
+
+    With a step penalty every candidate ties, so which optimal subset the
+    search visits first is decided purely by the candidate ordering.  A
+    stable sort over frozenset iteration order would make that ordering —
+    and therefore plan() — depend on PYTHONHASHSEED (different answers
+    across interpreter invocations for the same topology)."""
+
+    def _plan(self):
+        from repro.core import step_penalty
+
+        topo = build_clos(2, 3, 2, 8)
+        sprinkle_corruption(topo, fraction=0.3, rng=random.Random(4))
+        optimizer = GlobalOptimizer(
+            topo, CapacityConstraint(0.5), penalty_fn=step_penalty
+        )
+        return optimizer.plan()
+
+    def test_step_penalty_plan_is_hash_seed_independent(self):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        first = self._plan()
+        script = (
+            "import json, random\n"
+            "from repro.core import (CapacityConstraint, GlobalOptimizer,"
+            " step_penalty)\n"
+            "from repro.topology import build_clos, sprinkle_corruption\n"
+            "topo = build_clos(2, 3, 2, 8)\n"
+            "sprinkle_corruption(topo, fraction=0.3, rng=random.Random(4))\n"
+            "result = GlobalOptimizer(topo, CapacityConstraint(0.5),"
+            " penalty_fn=step_penalty).plan()\n"
+            "print(json.dumps(sorted(map(list, result.to_disable))))\n"
+        )
+        chosen = []
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            ).stdout
+            chosen.append(json.loads(out))
+        assert chosen[0] == chosen[1]
+        assert chosen[0] == sorted(map(list, first.to_disable))

@@ -1,0 +1,112 @@
+"""Aggregation: JSONL rows, schema validation, timing gating, registry."""
+
+import json
+
+import pytest
+
+from repro.obs import validate_sweep_jsonl
+from repro.obs.exporters import prometheus_text
+from repro.parallel import JobSpec, ParallelRunner, worker_cache
+from repro.parallel.aggregate import (
+    build_sweep_manifest,
+    summary_lines,
+    sweep_registry,
+    sweep_rows,
+    write_sweep_jsonl,
+)
+from repro.parallel.grid import GridSpec
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    worker_cache().clear()
+    grid = GridSpec(
+        strategies=["corropt", "none"],
+        capacities=[0.6],
+        trace_seeds=[0, 1],
+        scale=0.2,
+        duration_days=8.0,
+        events_per_10k=300.0,
+    )
+    result = ParallelRunner(jobs=1).run(grid.expand())
+    worker_cache().clear()
+    return result
+
+
+@pytest.fixture(scope="module")
+def mixed_sweep():
+    """A sweep containing a structured failure alongside ok jobs."""
+    bad = JobSpec(kind="calibrate", trace_seed=1, knobs=(("fail_attempts", 99.0),))
+    ok = JobSpec(kind="calibrate", trace_seed=2)
+    return ParallelRunner(jobs=1, max_retries=0).run([ok, bad])
+
+
+def test_written_jsonl_passes_schema_validation(sweep, tmp_path):
+    path = write_sweep_jsonl(tmp_path / "sweep.jsonl", sweep)
+    lines = path.read_text().splitlines()
+    assert validate_sweep_jsonl(lines) == []
+
+
+def test_failure_rows_pass_schema_validation(mixed_sweep, tmp_path):
+    path = write_sweep_jsonl(tmp_path / "mixed.jsonl", mixed_sweep)
+    assert validate_sweep_jsonl(path.read_text().splitlines()) == []
+
+
+def test_validator_flags_corrupted_stream(sweep, tmp_path):
+    path = write_sweep_jsonl(tmp_path / "sweep.jsonl", sweep)
+    lines = path.read_text().splitlines()
+    doctored = json.loads(lines[1])
+    doctored["status"] = "mystery"
+    lines[1] = json.dumps(doctored)
+    problems = validate_sweep_jsonl(lines)
+    assert problems and any("status" in p for p in problems)
+
+
+def test_timing_gate_strips_every_wallclock_field(sweep):
+    rows = sweep_rows(sweep, timing=False)
+    flat = json.dumps(rows)
+    assert "wall_s" not in flat
+    assert "worker_pid" not in flat
+    assert '"cache_hit"' not in flat  # optimizer's reject_cache_hits stays
+    timed = sweep_rows(sweep, timing=True)
+    assert all("timing" in row for row in timed)
+
+
+def test_rows_are_canonically_serialisable(sweep):
+    for row in sweep_rows(sweep, timing=False):
+        canonical = json.dumps(row, sort_keys=True, separators=(",", ":"))
+        assert json.loads(canonical) == row
+
+
+def test_series_digest_distinguishes_strategies(sweep):
+    rows = sweep_rows(sweep, timing=False)[1:]
+    by_strategy = {}
+    for row in rows:
+        if row["spec"]["trace_seed"] == 0:
+            by_strategy[row["spec"]["strategy"]] = row["series_digest"]
+    assert by_strategy["corropt"] != by_strategy["none"]
+    assert all(d.startswith("sha256:") for d in by_strategy.values())
+
+
+def test_registry_counts_jobs_and_cache(sweep):
+    flat = prometheus_text(sweep_registry(sweep))
+    assert "sweep_jobs_total" in flat
+    assert "sweep_scenario_cache_misses_total" in flat
+
+
+def test_registry_counts_failures(mixed_sweep):
+    flat = prometheus_text(sweep_registry(mixed_sweep))
+    assert 'status="failed"' in flat
+
+
+def test_manifest_carries_grid_digest(sweep):
+    manifest = build_sweep_manifest(sweep, config={"note": "test"})
+    assert manifest.config["grid_digest"].startswith("sha256:")
+    assert manifest.config["jobs_total"] == 4
+    assert manifest.config["note"] == "test"
+
+
+def test_summary_mentions_failures(mixed_sweep):
+    lines = summary_lines(mixed_sweep)
+    assert any("FAILED" in line for line in lines)
+    assert any("1/2" in line or "jobs ok" in line for line in lines)
