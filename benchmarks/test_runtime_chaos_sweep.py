@@ -1,0 +1,114 @@
+"""Chaos campaigns through the parallel runner: determinism + scaling.
+
+Since the kernel unification, closed-loop chaos runs (telemetry sensing
+through the fault-injected monitoring path) dispatch through the same
+process pool as oracle-sensing sweeps.  This benchmark runs a 16-job
+chaos grid — 4 fault presets × 4 trace seeds — serially and at 4
+workers, and records to
+``benchmarks/results/runtime_chaos_sweep.{txt,json}``:
+
+1. **Byte-identity** — the ``--no-timing`` JSONL rows must match exactly
+   across worker counts (the `chaos-determinism` CI gate);
+2. **Invariants** — every job must finish with zero quarantine-override
+   and zero capacity violations;
+3. **Scaling** — wall-clock ratio is recorded always and asserted ≥2.5×
+   only where 4 CPU cores actually exist.
+"""
+
+import json
+
+from conftest import write_benchmark_json, write_report
+
+from repro.parallel import ParallelRunner, worker_cache
+from repro.parallel.aggregate import sweep_rows
+from repro.parallel.grid import GridSpec
+from repro.parallel.runner import available_cpus
+
+POOL_WORKERS = 4
+TARGET_SPEEDUP = 2.5
+
+CHAOS_GRID = GridSpec(
+    chaos_presets=["none", "mild", "harsh", "flaky-collector"],
+    capacities=[0.75],
+    trace_seeds=[0, 1, 2, 3],
+    scale=0.06,
+    duration_days=2.0,
+    events_per_10k=400.0,
+)
+
+_REPORT = []
+_METRICS = {}
+
+
+def _canonical(sweep):
+    rows = sweep_rows(sweep, timing=False)
+    return "\n".join(
+        json.dumps(row, sort_keys=True, separators=(",", ":")) for row in rows
+    )
+
+
+def test_chaos_grid_identical_and_timed():
+    specs = CHAOS_GRID.expand()
+    assert len(specs) == 16
+    worker_cache().clear()
+    serial = ParallelRunner(jobs=1).run(specs)
+    worker_cache().clear()
+    pooled = ParallelRunner(jobs=POOL_WORKERS).run(specs)
+
+    assert all(r.ok for r in serial.records)
+    assert all(r.ok for r in pooled.records)
+    assert _canonical(serial) == _canonical(pooled), (
+        "chaos sweep rows diverged from serial"
+    )
+    violations = sum(
+        0 if r.result.invariants_ok() else 1 for r in pooled.records
+    )
+    assert violations == 0, f"{violations} jobs broke chaos invariants"
+
+    speedup = serial.wall_s / max(pooled.wall_s, 1e-9)
+    cores = available_cpus()
+    degraded = sum(r.result.chaos.degraded_samples for r in pooled.records)
+    _REPORT.extend(
+        [
+            "chaos sweep: 16-job grid "
+            "(4 fault presets x 4 trace seeds), "
+            f"{cores} core(s)",
+            f"  serial      {serial.wall_s:7.2f} s  "
+            f"(cache {serial.cache_stats['misses']} builds, "
+            f"{serial.cache_stats['hits']} hits)",
+            f"  {POOL_WORKERS} workers   {pooled.wall_s:7.2f} s  "
+            f"speedup {speedup:.1f}x",
+            "  rows byte-identical across --jobs: yes",
+            f"  invariant violations: {violations}",
+            f"  degraded telemetry samples (all jobs): {degraded}",
+        ]
+    )
+    _METRICS["serial_s"] = round(serial.wall_s, 3)
+    _METRICS["pool_s"] = round(pooled.wall_s, 3)
+    _METRICS["speedup"] = round(speedup, 2)
+    _METRICS["jobs"] = len(specs)
+    _METRICS["pool_workers"] = POOL_WORKERS
+    _METRICS["cores"] = cores
+    _METRICS["rows_byte_identical"] = True
+    _METRICS["invariant_violations"] = violations
+    _METRICS["degraded_samples_total"] = degraded
+    if cores >= POOL_WORKERS:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"chaos sweep speedup {speedup:.2f}x below {TARGET_SPEEDUP}x "
+            f"with {cores} cores"
+        )
+
+
+def test_write_report():
+    """Runs last: persist whatever the measurement appended."""
+    assert _REPORT, "measurement did not run"
+    write_report(
+        "runtime_chaos_sweep",
+        [
+            "Chaos campaigns through the parallel runner: serial vs "
+            f"{POOL_WORKERS}-worker pool",
+            "",
+        ]
+        + _REPORT,
+    )
+    write_benchmark_json("runtime_chaos_sweep", _METRICS)

@@ -24,7 +24,7 @@ from repro.simulation.scenarios import chaos_scenario
 
 #: Hard ceiling from the issue's acceptance criteria.
 MAX_OVERHEAD_RATIO = 1.10
-REPEATS = 5
+REPEATS = 9
 BENCH_DAYS = 2.0
 SCALE = 0.12
 

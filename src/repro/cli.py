@@ -261,6 +261,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             duration_days=args.days,
             events_per_10k=args.events,
             repair_accuracy=args.repair_accuracy,
+            chaos_presets=(
+                parse_str_list(args.chaos_preset)
+                if args.chaos_preset
+                else None
+            ),
+            fault_seed=args.fault_seed,
         )
     specs = grid.expand()
     runner = ParallelRunner(
@@ -288,10 +294,73 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if not sweep.failures() else 1
 
 
+def _cmd_chaos_campaign(args: argparse.Namespace) -> int:
+    """Run a chaos seed campaign through the parallel runner.
+
+    Activated by ``--seeds`` or ``--jobs``; each trace seed becomes one
+    ``kind="chaos"`` job with a spec-derived repair seed, so results are
+    byte-identical across worker counts (``--no-timing``).
+    """
+    from repro.parallel import (
+        GridSpec,
+        ParallelRunner,
+        parse_int_list,
+        summary_lines,
+        write_sweep_jsonl,
+    )
+
+    if args.preset is None:
+        print(
+            "chaos campaigns take a named --preset "
+            "(custom fault-rate flags are single-run only)",
+            file=sys.stderr,
+        )
+        return 2
+    if _wants_obs(args) or args.audit_out:
+        print(
+            "observability artifacts are single-run only; "
+            "drop --seeds/--jobs or the --*-out flags",
+            file=sys.stderr,
+        )
+        return 2
+    grid = GridSpec(
+        presets=["medium"],
+        chaos_presets=[args.preset],
+        capacities=[args.capacity],
+        trace_seeds=parse_int_list(args.seeds or "0"),
+        scale=args.scale,
+        duration_days=args.days,
+        events_per_10k=args.events,
+        repair_accuracy=args.repair_accuracy,
+        fault_seed=args.fault_seed,
+    )
+    runner = ParallelRunner(
+        jobs=args.jobs, max_retries=args.retries, timeout_s=args.timeout
+    )
+    sweep = runner.run(grid.expand())
+    for line in summary_lines(sweep):
+        print(line)
+    violations = sum(
+        1
+        for record in sweep.ok_records()
+        if record.result is not None and not record.result.invariants_ok()
+    )
+    print(
+        f"invariants: {violations} of {len(sweep.ok_records())} runs "
+        f"violated -> {'VIOLATED' if violations else 'OK'}"
+    )
+    if args.out:
+        write_sweep_jsonl(args.out, sweep, timing=not args.no_timing)
+        print(f"chaos campaign results: {args.out}")
+    return 0 if not sweep.failures() and violations == 0 else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import TelemetryFaultConfig
     from repro.simulation import chaos_preset, chaos_scenario, run_chaos_scenario
 
+    if args.seeds is not None or args.jobs != 1:
+        return _cmd_chaos_campaign(args)
     if args.preset is not None:
         config = chaos_preset(args.preset, seed=args.fault_seed)
     else:
@@ -666,6 +735,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="explicit repair seeds aligned 1:1 with --seeds "
              "(default: derived per job from its spec)",
     )
+    sweep.add_argument(
+        "--chaos-preset", default=None, metavar="NAMES",
+        help="comma list of telemetry-fault presets; turns the sweep "
+             "into kind=chaos jobs (replaces the --strategies axis)",
+    )
+    sweep.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="telemetry fault RNG seed for --chaos-preset jobs",
+    )
     sweep.add_argument("--scale", type=float, default=0.25)
     sweep.add_argument("--days", type=float, default=30.0)
     sweep.add_argument("--events", type=float, default=4.0)
@@ -710,6 +788,30 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--fault-seed", type=int, default=0)
     chaos.add_argument("--repair-accuracy", type=float, default=0.8)
+    chaos.add_argument(
+        "--events", type=float, default=400.0,
+        help="fault arrival intensity (events/10K links/day) for "
+             "campaign runs",
+    )
+    chaos.add_argument(
+        "--seeds", default=None, metavar="LIST",
+        help="trace seeds (comma list or 'a:b'); switches to campaign "
+             "mode through the parallel runner with spec-derived repair "
+             "seeds",
+    )
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="campaign worker processes (0 = all CPUs)")
+    chaos.add_argument("--retries", type=int, default=2,
+                       help="campaign retry budget per job")
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="campaign no-progress watchdog in seconds")
+    chaos.add_argument("--out", metavar="FILE.jsonl",
+                       help="write campaign results as canonical JSONL")
+    chaos.add_argument(
+        "--no-timing", action="store_true",
+        help="omit wall-clock fields so campaign outputs are "
+             "byte-identical across --jobs values",
+    )
     _add_obs_args(chaos)
     chaos.add_argument(
         "--audit-out", metavar="FILE",

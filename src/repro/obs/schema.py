@@ -181,6 +181,46 @@ def validate_audit_jsonl(lines: Sequence[str]) -> List[str]:
     return problems
 
 
+#: Integer-count chaos columns every ok chaos row must carry.
+CHAOS_COUNT_COLUMNS = (
+    "polls",
+    "missed_polls",
+    "degraded_samples",
+    "false_disables",
+    "missed_mitigations",
+    "detections",
+    "decisions_in_degraded_mode",
+    "quarantined_peak",
+    "quarantine_violations",
+    "capacity_violations",
+)
+
+
+def _chaos_row_problems(chaos: object, lineno: int) -> List[str]:
+    """Problems with one ok chaos row's ``chaos`` column block."""
+    if not isinstance(chaos, dict):
+        return [f"line {lineno}: chaos job missing object 'chaos'"]
+    problems: List[str] = []
+    if not isinstance(chaos.get("invariants_ok"), bool):
+        problems.append(
+            f"line {lineno}: chaos block missing boolean 'invariants_ok'"
+        )
+    if not isinstance(chaos.get("preset"), str):
+        problems.append(f"line {lineno}: chaos block missing 'preset'")
+    if not isinstance(chaos.get("detection_lag_polls"), (int, float)):
+        problems.append(
+            f"line {lineno}: chaos block missing numeric "
+            "'detection_lag_polls'"
+        )
+    for key in CHAOS_COUNT_COLUMNS:
+        value = chaos.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(
+                f"line {lineno}: chaos block missing integer {key!r}"
+            )
+    return problems
+
+
 def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
     """Problems with a ``repro sweep`` JSONL export (empty list = valid)."""
     problems: List[str] = []
@@ -244,6 +284,10 @@ def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
             if not (isinstance(digest, str) and digest.startswith("sha256:")):
                 problems.append(
                     f"line {lineno}: missing sha256 'series_digest'"
+                )
+            if record.get("spec", {}).get("kind") == "chaos":
+                problems.extend(
+                    _chaos_row_problems(record.get("chaos"), lineno)
                 )
         elif status == "failed":
             error = record.get("error")

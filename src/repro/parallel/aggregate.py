@@ -77,6 +77,24 @@ def record_row(
         )
         if result.optimizer_stats is not None:
             row["optimizer"] = result.optimizer_stats.as_dict()
+        if result.chaos is not None:
+            chaos = result.chaos
+            row["chaos"] = {
+                "preset": record.spec.chaos_preset,
+                "fault_seed": record.spec.fault_seed,
+                "invariants_ok": result.invariants_ok(),
+                "polls": chaos.polls,
+                "missed_polls": chaos.missed_polls,
+                "degraded_samples": chaos.degraded_samples,
+                "false_disables": chaos.false_disables,
+                "missed_mitigations": chaos.missed_mitigations,
+                "detections": chaos.detections,
+                "detection_lag_polls": chaos.mean_detection_delay_polls(),
+                "decisions_in_degraded_mode": chaos.decisions_in_degraded_mode,
+                "quarantined_peak": chaos.quarantined_peak,
+                "quarantine_violations": chaos.quarantine_violations,
+                "capacity_violations": chaos.capacity_violations,
+            }
     if record.ok and record.payload is not None:
         row["payload"] = dict(record.payload)
     if not record.ok:
@@ -165,6 +183,16 @@ def sweep_registry(sweep: SweepResult) -> MetricsRegistry:
                 record.result.penalty_integral,
                 strategy=record.spec.strategy,
             )
+            if record.result.chaos is not None:
+                registry.inc(
+                    "sweep_chaos_jobs_total",
+                    preset=record.spec.chaos_preset or "none",
+                )
+                if not record.result.invariants_ok():
+                    registry.inc(
+                        "sweep_chaos_invariant_violations_total",
+                        preset=record.spec.chaos_preset or "none",
+                    )
     for key, value in sweep.cache_stats.items():
         registry.inc(f"sweep_scenario_cache_{key}_total", float(value))
     stats = merge_optimizer_stats(sweep)
@@ -194,7 +222,12 @@ def summary_lines(sweep: SweepResult) -> List[str]:
         if record.result is None:
             continue
         spec = record.spec
-        key = (spec.preset, spec.strategy, spec.capacity)
+        label = (
+            spec.strategy
+            if spec.chaos_preset is None
+            else f"chaos[{spec.chaos_preset}]"
+        )
+        key = (spec.preset, label, spec.capacity)
         groups.setdefault(key, []).append(record.result.penalty_integral)
     lines = [
         f"sweep: {len(sweep.ok_records())}/{len(sweep.records)} jobs ok, "

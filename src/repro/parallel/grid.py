@@ -45,6 +45,12 @@ class GridSpec:
     ``repair_seeds`` pairs with ``trace_seeds`` positionally when given
     (must be the same length); when omitted, each job derives its repair
     seed from its spec (:func:`~repro.parallel.spec.job_seed`).
+
+    When ``chaos_presets`` is set, the grid expands to ``kind="chaos"``
+    jobs (telemetry sensing through the fault-injected monitoring path)
+    and the ``chaos_presets`` axis replaces the ``strategies`` axis in
+    the nesting order — chaos runs always drive the hardened CorrOpt
+    controller, so a strategy axis would be meaningless.
     """
 
     presets: List[str] = field(default_factory=lambda: ["medium"])
@@ -61,6 +67,8 @@ class GridSpec:
     service_days: float = 2.0
     full_repair_cycles: bool = False
     technician_pool: Optional[int] = None
+    chaos_presets: Optional[List[str]] = None
+    fault_seed: int = 0
 
     def __post_init__(self):
         if self.repair_seeds is not None and len(self.repair_seeds) != len(
@@ -72,24 +80,36 @@ class GridSpec:
             )
 
     def expand(self) -> List[JobSpec]:
-        """Flatten to jobs in (preset, capacity, strategy, seed) order."""
+        """Flatten to jobs in (preset, capacity, strategy, seed) order.
+
+        Chaos grids substitute the chaos-preset axis for the strategy
+        axis at the same nesting depth, so both kinds of sweep stay
+        byte-comparable across worker counts for the same reason.
+        """
         specs: List[JobSpec] = []
+        if self.chaos_presets is not None:
+            middle_axis = [("chaos", None, name) for name in self.chaos_presets]
+        else:
+            middle_axis = [
+                ("simulate", strategy, None) for strategy in self.strategies
+            ]
         for preset in self.presets:
             for capacity in self.capacities:
-                for strategy in self.strategies:
+                for kind, strategy, chaos_name in middle_axis:
                     for position, trace_seed in enumerate(self.trace_seeds):
                         repair_seed = None
                         if self.repair_seeds is not None:
                             repair_seed = self.repair_seeds[position]
                         specs.append(
                             JobSpec(
+                                kind=kind,
                                 preset=preset,
                                 scale=self.scale,
                                 duration_days=self.duration_days,
                                 trace_seed=trace_seed,
                                 events_per_10k=self.events_per_10k,
                                 capacity=capacity,
-                                strategy=strategy,
+                                strategy=strategy or "corropt",
                                 penalty=self.penalty,
                                 repair_accuracy=self.repair_accuracy,
                                 repair_seed=repair_seed,
@@ -97,6 +117,12 @@ class GridSpec:
                                 service_days=self.service_days,
                                 full_repair_cycles=self.full_repair_cycles,
                                 technician_pool=self.technician_pool,
+                                chaos_preset=chaos_name,
+                                fault_seed=(
+                                    self.fault_seed
+                                    if chaos_name is not None
+                                    else 0
+                                ),
                             )
                         )
         return specs

@@ -39,10 +39,22 @@ KNOWN_PENALTIES = ("linear", "tcp-throughput", "step")
 #: Built-in scenario presets (resolved in :mod:`repro.parallel.worker`).
 KNOWN_PRESETS = ("medium", "large")
 
-#: Job kinds: real simulation runs, and deterministic harness-calibration
-#: jobs (spin/sleep/crash/hang) used by the runner's own tests and the
+#: Job kinds: real simulation runs (oracle sensing), closed-loop chaos
+#: runs (telemetry sensing), and deterministic harness-calibration jobs
+#: (spin/sleep/crash/hang) used by the runner's own tests and the
 #: pool-overhead benchmark.
-KNOWN_KINDS = ("simulate", "calibrate")
+KNOWN_KINDS = ("simulate", "chaos", "calibrate")
+
+#: Telemetry-fault presets addressable by a chaos spec.  Kept as a
+#: literal so the spec module stays import-light; pinned against
+#: :data:`repro.simulation.chaos.CHAOS_PRESETS` by the parallel tests.
+KNOWN_CHAOS_PRESETS = (
+    "none",
+    "mild",
+    "harsh",
+    "reboot-storm",
+    "flaky-collector",
+)
 
 
 @dataclass(frozen=True)
@@ -73,6 +85,14 @@ class JobSpec:
         service_days: Ticket service time per attempt.
         full_repair_cycles: Simulate failed repairs as re-enable cycles.
         technician_pool: Optional FIFO repair-crew size.
+        chaos_preset: Telemetry-fault preset name for ``kind="chaos"``
+            jobs (``None`` for every other kind).  Omitted from the
+            canonical JSON when unset, so pre-chaos specs keep their
+            derived seeds.
+        fault_seed: Seed of the telemetry fault RNG for chaos jobs
+            (independent of the repair seed so fault injection never
+            perturbs repair outcomes).  Omitted from the canonical JSON
+            when 0, for the same reason.
         knobs: Calibration knobs as a sorted tuple of ``(name, value)``
             pairs (kept a tuple so the spec stays hashable).
     """
@@ -94,6 +114,8 @@ class JobSpec:
     service_days: float = 2.0
     full_repair_cycles: bool = False
     technician_pool: Optional[int] = None
+    chaos_preset: Optional[str] = None
+    fault_seed: int = 0
     knobs: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
 
     # ------------------------------------------------------------------ #
@@ -106,6 +128,23 @@ class JobSpec:
             raise ValueError(f"unknown job kind {self.kind!r}")
         if self.kind == "calibrate":
             return
+        if self.kind == "chaos":
+            if self.chaos_preset is None:
+                raise ValueError('kind="chaos" requires a chaos_preset')
+            if self.chaos_preset not in KNOWN_CHAOS_PRESETS:
+                raise ValueError(
+                    f"unknown chaos preset {self.chaos_preset!r}; "
+                    f"choose from {sorted(KNOWN_CHAOS_PRESETS)}"
+                )
+            if self.technician_pool is not None or self.full_repair_cycles:
+                raise ValueError(
+                    "chaos jobs use the paper repair model; technician_pool "
+                    "and full_repair_cycles are not supported"
+                )
+        elif self.chaos_preset is not None:
+            raise ValueError(
+                f'chaos_preset requires kind="chaos", not {self.kind!r}'
+            )
         if self.profile_shape is None and self.preset not in KNOWN_PRESETS:
             raise ValueError(
                 f"unknown preset {self.preset!r}; "
@@ -135,10 +174,20 @@ class JobSpec:
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe canonical dict (tuples become lists)."""
+        """JSON-safe canonical dict (tuples become lists).
+
+        Fields introduced after the format froze (the chaos axis) are
+        omitted at their defaults: every pre-chaos spec keeps the exact
+        canonical JSON — and therefore the exact derived seed — it had
+        before the axis existed.
+        """
         out: Dict[str, Any] = {}
         for f in fields(self):
             value = getattr(self, f.name)
+            if f.name == "chaos_preset" and value is None:
+                continue
+            if f.name == "fault_seed" and value == 0:
+                continue
             if isinstance(value, tuple):
                 value = [list(v) if isinstance(v, tuple) else v for v in value]
             out[f.name] = value

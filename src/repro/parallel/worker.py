@@ -33,8 +33,9 @@ from repro.core.penalty import (
 )
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.parallel.spec import JobSpec
+from repro.simulation.chaos import ChaosSimulation, chaos_preset
 from repro.simulation.engine import MitigationSimulation, SimulationResult
-from repro.simulation.scenarios import make_scenario
+from repro.simulation.scenarios import Scenario, make_scenario
 from repro.simulation.strategies import build_strategy
 from repro.topology.graph import Topology
 from repro.workloads.dcn_profiles import DCNProfile, LARGE_DCN, MEDIUM_DCN
@@ -223,6 +224,10 @@ def execute_job(
 
     base_topo, trace, cache_hit = _CACHE.get(spec)
     start = time.perf_counter()
+    if spec.kind == "chaos":
+        return _execute_chaos(
+            spec, base_topo, trace, cache_hit, start, attempt, obs
+        )
     topo = base_topo.copy()
     constraint = CapacityConstraint(spec.capacity)
     penalty_fn = PENALTY_FNS[spec.penalty]
@@ -243,6 +248,56 @@ def execute_job(
         obs=obs,
     )
     result = sim.run()
+    return JobRecord(
+        spec=spec,
+        status="ok",
+        result=result,
+        attempts=attempt,
+        wall_s=time.perf_counter() - start,
+        cache_hit=cache_hit,
+    )
+
+
+def _execute_chaos(
+    spec: JobSpec,
+    base_topo: Topology,
+    trace: CorruptionTrace,
+    cache_hit: bool,
+    start: float,
+    attempt: int,
+    obs: Recorder,
+) -> JobRecord:
+    """Run one closed-loop chaos job (telemetry sensing) from the cache.
+
+    The cached (topology, trace) pair is shared with ``simulate`` jobs of
+    the same scenario shape; :meth:`Scenario.topo_factory` hands the
+    simulation its own copy.  The returned result is slimmed for the
+    pool: audit/controller logs are process-local debugging payloads that
+    would dominate pickling cost, while rows only need the metric series
+    and chaos counters (optimizer stats are lifted out first so sweeps
+    still merge search-effort telemetry).
+    """
+    scenario = Scenario(
+        name=f"{spec.preset}-chaos",
+        profile=resolve_profile(spec),
+        scale=spec.scale,
+        trace=trace,
+        capacity=spec.capacity,
+    )
+    scenario._base_topo = base_topo
+    sim = ChaosSimulation(
+        scenario,
+        fault_config=chaos_preset(spec.chaos_preset, seed=spec.fault_seed),
+        repair_accuracy=spec.repair_accuracy,
+        service_days=spec.service_days,
+        seed=spec.seed_used(),
+        obs=obs,
+    )
+    result = sim.run()
+    result.optimizer_stats = result.controller_log.optimizer_stats
+    result.sanitizer_stats = dict(vars(result.sanitizer_stats))
+    result.audit = None
+    result.controller_log = None
     return JobRecord(
         spec=spec,
         status="ok",

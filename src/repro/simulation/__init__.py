@@ -20,7 +20,18 @@ from repro.simulation.engine import (
     SimulationResult,
     run_comparison,
 )
+from repro.simulation.kernel import (
+    EVENT_ONSET,
+    EVENT_POLL,
+    EVENT_POOL_CHECK,
+    EVENT_REPAIR,
+    OracleSensing,
+    SensingPipeline,
+    SimulationKernel,
+    TelemetrySensing,
+)
 from repro.simulation.metrics import ChaosMetrics, SimulationMetrics, StepSeries
+from repro.simulation.results import RunResult
 from repro.simulation.scenarios import (
     Scenario,
     chaos_scenario,
@@ -41,6 +52,10 @@ from repro.simulation.strategies import (
 
 __all__ = [
     "CHAOS_PRESETS",
+    "EVENT_ONSET",
+    "EVENT_POLL",
+    "EVENT_POOL_CHECK",
+    "EVENT_REPAIR",
     "ChaosMetrics",
     "ChaosResult",
     "ChaosSimulation",
@@ -50,11 +65,16 @@ __all__ = [
     "MitigationSimulation",
     "MitigationStrategy",
     "NoMitigationStrategy",
+    "OracleSensing",
+    "RunResult",
     "Scenario",
+    "SensingPipeline",
+    "SimulationKernel",
     "SimulationMetrics",
     "SimulationResult",
     "StepSeries",
     "SwitchLocalStrategy",
+    "TelemetrySensing",
     "chaos_preset",
     "chaos_scenario",
     "large_scenario",

@@ -1,9 +1,10 @@
 """Closed-loop chaos simulation: CorrOpt with telemetry in the loop.
 
-The event-driven engine (:mod:`repro.simulation.engine`) hands ground-truth
-corruption onsets straight to the strategy — it answers "how good are the
-decisions when the inputs are perfect?".  This module answers the harder
-question from the ISSUE: **how does CorrOpt behave when its inputs lie?**
+The oracle-sensing engine (:mod:`repro.simulation.engine`) hands
+ground-truth corruption onsets straight to the strategy — it answers "how
+good are the decisions when the inputs are perfect?".  This module answers
+the harder question from the ISSUE: **how does CorrOpt behave when its
+inputs lie?**
 
 Here nothing reaches the controller except through the monitoring path:
 
@@ -20,63 +21,30 @@ controller refuses to disable on quarantined data.
 Determinism contract: with a fault config whose rates are all zero (or no
 config at all) the run is bit-identical to the fault-free run — the chaos
 apparatus itself must not perturb the system it observes.
+
+Since the kernel unification, :class:`ChaosSimulation` is a thin shim
+composing :class:`~repro.simulation.kernel.SimulationKernel` with
+:class:`~repro.simulation.kernel.TelemetrySensing`; polls are scheduled
+heap events on the shared kernel rather than a private tick loop.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional
 
-from repro.core.controller import CorrOptController
-from repro.core.resilience import AuditLog, CircuitBreaker, OnsetDebouncer
-from repro.faults.telemetry_faults import FaultyTransport, TelemetryFaultConfig
+from repro.faults.telemetry_faults import TelemetryFaultConfig
 from repro.obs.recorder import NULL_RECORDER, Recorder
-from repro.simulation.metrics import ChaosMetrics, SimulationMetrics
+from repro.simulation.kernel import DAY_S, SimulationKernel, TelemetrySensing
+from repro.simulation.results import ChaosResult, RunResult
 from repro.simulation.scenarios import Scenario
-from repro.telemetry.poller import SnmpPoller
-from repro.telemetry.sanitizer import TelemetrySanitizer
-from repro.telemetry.store import TelemetryStore
-from repro.topology.elements import Direction, LinkId
 
-DAY_S = 86_400.0
-
-
-@dataclass
-class ChaosResult:
-    """Outcome of one closed-loop chaos run."""
-
-    duration_s: float
-    metrics: SimulationMetrics
-    chaos: ChaosMetrics
-    audit: AuditLog
-    sanitizer_stats: "object"
-    controller_log: "object"
-
-    @property
-    def penalty_integral(self) -> float:
-        return self.metrics.total_penalty_integral(self.duration_s)
-
-    def invariants_ok(self) -> bool:
-        """The two hard invariants of the acceptance criteria."""
-        return (
-            self.chaos.quarantine_violations == 0
-            and self.chaos.capacity_violations == 0
-        )
-
-    def fingerprint(self) -> Tuple:
-        """Exact metric-series identity for bit-identical comparisons."""
-        return (
-            tuple(self.metrics.penalty.changes()),
-            tuple(self.metrics.worst_tor_fraction.changes()),
-            tuple(self.metrics.average_tor_fraction.changes()),
-            self.metrics.onsets,
-            self.metrics.disabled_on_onset,
-            self.metrics.disabled_on_activation,
-            self.metrics.repairs_completed,
-        )
+__all__ = [
+    "CHAOS_PRESETS",
+    "ChaosResult",
+    "ChaosSimulation",
+    "chaos_preset",
+    "run_chaos_scenario",
+]
 
 
 class ChaosSimulation:
@@ -120,241 +88,70 @@ class ChaosSimulation:
     ):
         self.scenario = scenario
         self.topo = scenario.topo_factory()
-        self.constraint = scenario.constraint()
-        self.fault_config = fault_config
-        self.detection_threshold = detection_threshold
-        self.packets_per_poll = packets_per_poll
-        self.repair_accuracy = repair_accuracy
-        self.service_s = service_days * DAY_S
-        self.poll_interval_s = poll_interval_s
-        self.rng = random.Random(seed)
-        self.obs = obs
-
-        self.store = TelemetryStore()
-        self.sanitizer = TelemetrySanitizer(
-            interval_s=poll_interval_s, obs=obs
-        )
-        self.transport = (
-            FaultyTransport(fault_config) if fault_config is not None else None
-        )
-        self.poller = SnmpPoller(
-            self.topo,
-            self.store,
-            packets_fn=lambda _did, _t: self.packets_per_poll,
-            interval_s=poll_interval_s,
-            transport=self.transport,
-            sanitizer=self.sanitizer,
-            obs=obs,
-        )
-        self.audit = AuditLog()
-        self.controller = CorrOptController(
-            self.topo,
-            self.constraint,
-            quarantine_fn=self.sanitizer.link_quarantined,
-            debouncer=OnsetDebouncer(
-                confirm=debounce_confirm,
-                window_s=3 * poll_interval_s,
-                high=detection_threshold,
-            ),
-            optimizer_breaker=CircuitBreaker(),
+        self.pipeline = TelemetrySensing(
+            scenario.trace,
+            scenario.constraint(),
+            fault_config=fault_config,
+            detection_threshold=detection_threshold,
+            packets_per_poll=packets_per_poll,
+            poll_interval_s=poll_interval_s,
+            debounce_confirm=debounce_confirm,
             max_decisions=max_decisions,
-            audit=self.audit,
+        )
+        self.kernel = SimulationKernel(
+            self.topo,
+            duration_s=scenario.trace.duration_days * DAY_S,
+            pipeline=self.pipeline,
+            repair_accuracy=repair_accuracy,
+            service_s=service_days * DAY_S,
+            seed=seed,
             obs=obs,
         )
 
-        self.metrics = SimulationMetrics()
-        self.chaos = ChaosMetrics()
-        # Ground truth bookkeeping: outstanding fault onset times and
-        # which of them the telemetry pipeline has noticed.
-        self._onset_time: Dict[LinkId, float] = {}
-        self._detected: Set[LinkId] = set()
-        self._repair_heap: List[Tuple[float, int, LinkId]] = []
-        self._tiebreak = itertools.count()
-        self._min_threshold = min(
-            [self.constraint.default]
-            + list(self.constraint.per_tor.values())
-        )
+    # Historic surface, delegated to the kernel/pipeline ---------------- #
 
-    # ------------------------------------------------------------------ #
+    @property
+    def metrics(self):
+        return self.kernel.metrics
 
-    def _schedule_repair(self, now: float, link_id: LinkId) -> None:
-        attempts = 1 if self.rng.random() < self.repair_accuracy else 2
-        done = now + attempts * self.service_s
-        heapq.heappush(
-            self._repair_heap, (done, next(self._tiebreak), link_id)
-        )
+    @property
+    def chaos(self):
+        return self.pipeline.chaos
 
-    def _apply_onsets(self, events, now: float) -> None:
-        """Write ground-truth corruption for onsets due by ``now``."""
-        while events and events[0].time_s <= now:
-            event = events.pop(0)
-            for link_id, condition in zip(event.link_ids, event.conditions):
-                link = self.topo.link(link_id)
-                if not link.enabled or link_id in self._onset_time:
-                    continue  # already mitigated or already corrupting
-                self.metrics.onsets += 1
-                self._onset_time[link_id] = event.time_s
-                self.topo.set_corruption(
-                    link_id, condition.fwd_rate, Direction.UP
-                )
-                if condition.rev_rate > 0:
-                    self.topo.set_corruption(
-                        link_id, condition.rev_rate, Direction.DOWN
-                    )
+    @property
+    def store(self):
+        return self.pipeline.store
 
-    def _complete_repairs(self, now: float) -> None:
-        while self._repair_heap and self._repair_heap[0][0] <= now:
-            _done, _tie, link_id = heapq.heappop(self._repair_heap)
-            self._onset_time.pop(link_id, None)
-            self._detected.discard(link_id)
-            self.metrics.repairs_completed += 1
-            before = self.controller.log.disabled_by_optimizer
-            result = self.controller.activate_link(
-                link_id, repaired=True, time_s=now
-            )
-            newly = self.controller.log.disabled_by_optimizer - before
-            self.metrics.disabled_on_activation += newly
-            # Optimizer-driven disables also need repair visits (skip any
-            # the fail-safe rule kept active despite the plan).
-            for lid in sorted(result.to_disable):
-                if not self.topo.link(lid).enabled and not self._pending_repair(
-                    lid
-                ):
-                    self._schedule_repair(now, lid)
+    @property
+    def sanitizer(self):
+        return self.pipeline.sanitizer
 
-    def _pending_repair(self, link_id: LinkId) -> bool:
-        return any(lid == link_id for _t, _n, lid in self._repair_heap)
+    @property
+    def transport(self):
+        return self.pipeline.transport
 
-    def _detect_and_report(self, now: float) -> None:
-        """Raise controller reports from fresh telemetry samples."""
-        for link in list(self.topo.links()):
-            if not link.enabled:
-                continue
-            link_id = link.link_id
-            for direction in (Direction.UP, Direction.DOWN):
-                did = link.direction_id(direction)
-                sample = self.store.last_sample(did)
-                if sample is None:
-                    continue
-                time_s, corruption, _cong, _util, _quality = sample
-                if time_s != now:
-                    continue  # no fresh sample this tick
-                if corruption < self.detection_threshold:
-                    continue
-                was_quarantined = self.sanitizer.link_quarantined(link_id)
-                truly_corrupting = (
-                    self.topo.link(link_id).max_corruption_rate() > 0
-                )
-                decision = self.controller.report_corruption(
-                    link_id, corruption, direction, time_s=now
-                )
-                if truly_corrupting and link_id not in self._detected:
-                    self._detected.add(link_id)
-                    self.chaos.detections += 1
-                    onset = self._onset_time.get(link_id, now)
-                    self.chaos.detection_delay_polls += max(
-                        0.0, (now - onset) / self.poll_interval_s
-                    )
-                if decision.disabled:
-                    self.metrics.disabled_on_onset += 1
-                    if was_quarantined:
-                        self.chaos.quarantine_violations += 1
-                    if not truly_corrupting:
-                        self.chaos.false_disables += 1
-                    self._schedule_repair(now, link_id)
-                    break  # link is down; no point checking the other side
-                elif decision.fast_check is not None:
-                    self.metrics.kept_active_on_onset += 1
+    @property
+    def poller(self):
+        return self.pipeline.poller
 
-    def _snapshot(self, now: float) -> None:
-        self.metrics.penalty.record(now, self.controller.current_penalty())
-        worst = self.controller.worst_tor_fraction()
-        self.metrics.worst_tor_fraction.record(now, worst)
-        self.metrics.average_tor_fraction.record(
-            now, self.controller.average_tor_fraction()
-        )
-        if worst < self._min_threshold - 1e-9:
-            self.chaos.capacity_violations += 1
-        quarantined = self.sanitizer.quarantined_directions()
-        self.chaos.quarantined_peak = max(
-            self.chaos.quarantined_peak, quarantined
-        )
+    @property
+    def audit(self):
+        return self.pipeline.audit
 
-    def _scrape_final(self) -> None:
-        """Export end-of-run stats from components that keep their own
-        counters (path counter, optimizer, sanitizer) into the registry."""
-        obs = self.obs
-        obs.scrape_path_counter(self.controller.counter, role="controller")
-        obs.scrape_optimizer_stats(
-            self.controller.log.optimizer_stats, role="controller"
-        )
-        self.sanitizer.flush_obs_counts()
-        for key, value in vars(self.sanitizer.stats).items():
-            obs.gauge(f"sanitizer_stats_{key}", value)
-        obs.gauge(
-            "sanitizer_quarantined_directions",
-            self.sanitizer.quarantined_directions(),
-        )
+    @property
+    def controller(self):
+        return self.pipeline.controller
 
-    # ------------------------------------------------------------------ #
-
-    def run(self) -> ChaosResult:
-        """Execute the scenario's full horizon, one poll at a time."""
-        duration_s = self.scenario.trace.duration_days * DAY_S
-        events = sorted(self.scenario.trace.events, key=lambda e: e.time_s)
-        num_polls = int(duration_s / self.poll_interval_s)
-
-        obs = self.obs
-        for _ in range(num_polls):
-            now = self.poller.time_s + self.poll_interval_s
-            obs.set_sim_time(now)
-            with obs.span("tick", cat="chaos"):
-                with obs.span("chaos.onsets", cat="chaos"):
-                    self._apply_onsets(events, now)
-                with obs.span("chaos.repair", cat="chaos"):
-                    self._complete_repairs(now)
-                # poll_once() emits its own poll > collect/sanitize/store
-                # span subtree, nested under this tick.
-                polled = self.poller.poll_once()
-                assert polled == now
-                self.chaos.polls += 1
-                with obs.span("chaos.detect", cat="chaos"):
-                    self._detect_and_report(now)
-                self._snapshot(now)
-
-        # Faults outstanding at the end that telemetry never surfaced.
-        self.chaos.missed_mitigations = sum(
-            1 for lid in self._onset_time if lid not in self._detected
-        )
-        self.chaos.missed_polls = self.poller.missed_polls
-        self.chaos.degraded_samples = (
-            self.sanitizer.stats.missing
-            + self.sanitizer.stats.resets_detected
-            + self.sanitizer.stats.freezes_detected
-            + self.sanitizer.stats.duplicates_dropped
-            + self.sanitizer.stats.out_of_order_dropped
-        )
-        self.chaos.decisions_in_degraded_mode = (
-            self.controller.log.fail_safe_keeps
-            + self.controller.log.optimizer_fallbacks
-        )
-        if obs.enabled:
-            self._scrape_final()
-        return ChaosResult(
-            duration_s=duration_s,
-            metrics=self.metrics,
-            chaos=self.chaos,
-            audit=self.audit,
-            sanitizer_stats=self.sanitizer.stats,
-            controller_log=self.controller.log,
-        )
+    def run(self) -> RunResult:
+        """Execute the scenario's full horizon, one poll event at a time."""
+        return self.kernel.run()
 
 
 def run_chaos_scenario(
     scenario: Scenario,
     fault_config: Optional[TelemetryFaultConfig] = None,
     **kwargs,
-) -> ChaosResult:
+) -> RunResult:
     """Convenience wrapper: build and run a :class:`ChaosSimulation`."""
     return ChaosSimulation(scenario, fault_config=fault_config, **kwargs).run()
 

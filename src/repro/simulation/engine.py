@@ -14,57 +14,36 @@ time series:
 - optionally, full repair cycles are simulated (Figure 12): a failed
   repair re-enables a still-corrupting link, which is re-detected and
   re-disabled.
+
+Since the kernel unification, :class:`MitigationSimulation` is a thin shim
+composing :class:`~repro.simulation.kernel.SimulationKernel` with
+:class:`~repro.simulation.kernel.OracleSensing`; the event loop, repair
+scheduling and snapshot bookkeeping live in :mod:`repro.simulation.kernel`.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import random
-from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.core.optimizer import OptimizerStats
-from repro.core.path_counting import PathCounter
 from repro.core.penalty import PenaltyFn, linear_penalty
 from repro.obs.recorder import NULL_RECORDER, Recorder
-from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.kernel import DAY_S, OracleSensing, SimulationKernel
+from repro.simulation.results import RunResult, SimulationResult
 from repro.simulation.strategies import MitigationStrategy
-from repro.ticketing.queue import TechnicianPoolQueue
-from repro.ticketing.ticket import Ticket
-from repro.topology.elements import Direction, LinkId, LinkState
 from repro.topology.graph import Topology
 from repro.workloads.trace import CorruptionTrace
 
-DAY_S = 86_400.0
-
-_ONSET, _REPAIR, _POOL_CHECK = 0, 1, 2
-
-
-@dataclass
-class SimulationResult:
-    """Outcome of one mitigation run."""
-
-    strategy_name: str
-    duration_s: float
-    metrics: SimulationMetrics
-    #: Aggregated optimizer search statistics, when the strategy ran the
-    #: global optimizer (None for strategies that never invoke it).
-    optimizer_stats: Optional[OptimizerStats] = None
-
-    @property
-    def penalty_integral(self) -> float:
-        """∫ penalty dt over the run (the Figure-17 comparison quantity)."""
-        return self.metrics.total_penalty_integral(self.duration_s)
-
-    def mean_penalty(self) -> float:
-        if self.duration_s <= 0:
-            return 0.0
-        return self.penalty_integral / self.duration_s
+__all__ = [
+    "DAY_S",
+    "MitigationSimulation",
+    "RunResult",
+    "SimulationResult",
+    "run_comparison",
+]
 
 
 class MitigationSimulation:
-    """Replay a trace under one strategy.
+    """Replay a trace under one strategy (oracle sensing).
 
     Args:
         topo: Topology (mutated during the run; pass a copy to reuse).
@@ -103,102 +82,58 @@ class MitigationSimulation:
         technician_pool: Optional[int] = None,
         obs: Recorder = NULL_RECORDER,
     ):
-        if not 0.0 <= repair_accuracy <= 1.0:
-            raise ValueError("repair accuracy outside [0, 1]")
         self.topo = topo
         self.trace = trace
         self.strategy = strategy
-        self.repair_accuracy = repair_accuracy
-        self.service_s = service_days * DAY_S
-        self.penalty_fn = penalty_fn
-        self.rng = random.Random(seed)
-        self.track_capacity = track_capacity
-        self.full_repair_cycles = full_repair_cycles
-        self.obs = obs
-        self.metrics = SimulationMetrics()
-        self._counter: Optional[PathCounter] = None
-        if track_capacity:
-            # Share the strategy's counter when it has one bound to this
-            # topology (CorrOpt / fast-checker strategies do), so the run
-            # maintains a single incremental DP instead of several.
-            shared = getattr(strategy, "counter", None)
-            if isinstance(shared, PathCounter) and shared.topo is topo:
-                self._counter = shared
-            else:
-                self._counter = PathCounter(topo)
-        # Links with an outstanding fault, in onset order.  Doubles as the
-        # penalty support set: the total penalty only ranges over these, so
-        # a snapshot costs O(#corrupting links) instead of O(|E|).
-        self._rates: Dict[LinkId, float] = {
-            lid: topo.link(lid).max_corruption_rate()
-            for lid in topo.corrupting_links()
-        }
-        self._tiebreak = itertools.count()
-        self._pool: Optional[TechnicianPoolQueue] = None
-        self._next_pool_check: Optional[float] = None
-        if technician_pool is not None:
-            self._pool = TechnicianPoolQueue(
-                num_technicians=technician_pool,
-                service_time_s=self.service_s,
-                obs=obs,
-            )
-
-    # ------------------------------------------------------------------ #
-
-    def _current_penalty(self) -> float:
-        """§5.1's ``sum_l (1 - d_l) * I(f_l)`` over the outstanding faults."""
-        topo = self.topo
-        total = 0.0
-        for lid in self._rates:
-            link = topo.link(lid)
-            if link.enabled and link.is_corrupting():
-                total += self.penalty_fn(link.max_corruption_rate())
-        return total
-
-    def _snapshot(self, time_s: float) -> None:
-        self.metrics.penalty.record(time_s, self._current_penalty())
-        if self._counter is not None:
-            self.metrics.worst_tor_fraction.record(
-                time_s, self._counter.worst_tor_fraction()
-            )
-            self.metrics.average_tor_fraction.record(
-                time_s, self._counter.average_tor_fraction()
-            )
-
-    def _schedule_repair(self, heap, time_s: float, link_id: LinkId) -> None:
-        if self._pool is not None:
-            self._pool.submit(Ticket(link_id=link_id, created_s=time_s), time_s)
-            self._schedule_pool_check(heap)
-            return
-        if self.full_repair_cycles:
-            done = time_s + self.service_s
-        else:
-            # Paper model: failed first repairs fold into a doubled stay.
-            attempts = 1 if self.rng.random() < self.repair_accuracy else 2
-            done = time_s + attempts * self.service_s
-        heapq.heappush(heap, (done, _REPAIR, next(self._tiebreak), link_id))
-
-    def _schedule_pool_check(self, heap) -> None:
-        """Schedule a wake-up at the pool's next completion time.
-
-        At most one check is outstanding: a new one is pushed only when the
-        next completion precedes the currently scheduled wake-up (duplicate
-        entries for the same completion would pop as empty drains).
-        """
-        completion = self._pool.next_completion()
-        if completion is None:
-            return
-        if (
-            self._next_pool_check is not None
-            and completion >= self._next_pool_check
-        ):
-            return
-        self._next_pool_check = completion
-        heapq.heappush(
-            heap, (completion, _POOL_CHECK, next(self._tiebreak), None)
+        self.pipeline = OracleSensing(
+            trace,
+            strategy,
+            penalty_fn=penalty_fn,
+            track_capacity=track_capacity,
+        )
+        self.kernel = SimulationKernel(
+            topo,
+            duration_s=trace.duration_days * DAY_S,
+            pipeline=self.pipeline,
+            repair_accuracy=repair_accuracy,
+            service_s=service_days * DAY_S,
+            seed=seed,
+            full_repair_cycles=full_repair_cycles,
+            technician_pool=technician_pool,
+            obs=obs,
         )
 
-    def run(self) -> SimulationResult:
+    # Historic surface, delegated to the kernel/pipeline ---------------- #
+
+    @property
+    def metrics(self):
+        return self.kernel.metrics
+
+    @property
+    def rng(self):
+        return self.kernel.rng
+
+    @property
+    def obs(self):
+        return self.kernel.obs
+
+    @property
+    def _pool(self):
+        return self.kernel._pool
+
+    @property
+    def _next_pool_check(self):
+        return self.kernel._next_pool_check
+
+    @property
+    def _counter(self):
+        return self.pipeline._counter
+
+    @property
+    def _rates(self):
+        return self.pipeline._rates
+
+    def run(self) -> RunResult:
         """Execute the full trace; returns the recorded metrics.
 
         Events are processed to the end of the heap — repairs landing after
@@ -207,108 +142,10 @@ class MitigationSimulation:
         keeping ``StepSeries.min_value()``/``changes()`` consistent with
         ``penalty_integral`` (which clips to the same window).
         """
-        heap = []
-        for event in self.trace.events:
-            heapq.heappush(
-                heap, (event.time_s, _ONSET, next(self._tiebreak), event)
-            )
-        duration_s = self.trace.duration_days * DAY_S
-
-        obs = self.obs
-        _kind_names = {_ONSET: "onset", _REPAIR: "repair", _POOL_CHECK: "pool-check"}
-        while heap:
-            time_s, kind, _tie, payload = heapq.heappop(heap)
-            obs.set_sim_time(time_s)
-            with obs.span(f"sim.{_kind_names[kind]}", cat="engine"):
-                if kind == _ONSET:
-                    self._handle_onset(heap, time_s, payload)
-                elif kind == _POOL_CHECK:
-                    self._handle_pool_check(heap, time_s)
-                else:
-                    self._handle_repair_completion(heap, time_s, payload)
-                if obs.enabled:
-                    obs.count("sim_events_total", kind=_kind_names[kind])
-            if time_s <= duration_s:
-                self._snapshot(time_s)
-
-        if obs.enabled and self._counter is not None:
-            obs.scrape_path_counter(self._counter, role="engine")
-
-        return SimulationResult(
-            strategy_name=self.strategy.name,
-            duration_s=duration_s,
-            metrics=self.metrics,
-            optimizer_stats=self.strategy.optimizer_stats,
-        )
-
-    # ------------------------------------------------------------------ #
-
-    def _handle_onset(self, heap, time_s: float, event) -> None:
-        for link_id, condition in zip(event.link_ids, event.conditions):
-            link = self.topo.link(link_id)
-            if not link.enabled or link_id in self._rates:
-                continue  # already mitigated or already corrupting
-            self.metrics.onsets += 1
-            self._rates[link_id] = condition.fwd_rate
-            self.topo.set_corruption(link_id, condition.fwd_rate, Direction.UP)
-            if condition.rev_rate > 0:
-                self.topo.set_corruption(
-                    link_id, condition.rev_rate, Direction.DOWN
-                )
-            if self.strategy.on_onset(link_id):
-                self.metrics.disabled_on_onset += 1
-                self._schedule_repair(heap, time_s, link_id)
-            else:
-                self.metrics.kept_active_on_onset += 1
-
-    def _handle_pool_check(self, heap, time_s: float) -> None:
-        """Drain finished technician visits; failed repairs re-enter the
-        queue for another service round (each failed attempt adds another
-        full service time, §5.2)."""
-        self._next_pool_check = None
-        for ticket in self._pool.pop_due(time_s):
-            if self.rng.random() < self.repair_accuracy:
-                self.topo.clear_corruption(ticket.link_id)
-                self._rates.pop(ticket.link_id, None)
-                self.metrics.repairs_completed += 1
-                self.topo.enable_link(ticket.link_id)
-                for newly_disabled in self.strategy.on_activation():
-                    self.metrics.disabled_on_activation += 1
-                    self._schedule_repair(heap, time_s, newly_disabled)
-            else:
-                self.metrics.failed_repairs += 1
-                self._pool.submit(
-                    Ticket(link_id=ticket.link_id, created_s=time_s), time_s
-                )
-        self._schedule_pool_check(heap)
-
-    def _handle_repair_completion(self, heap, time_s: float, link_id) -> None:
-        success = True
-        if self.full_repair_cycles:
-            success = self.rng.random() < self.repair_accuracy
-        if success:
-            self.topo.clear_corruption(link_id)
-            self._rates.pop(link_id, None)
-            self.metrics.repairs_completed += 1
-        else:
-            self.metrics.failed_repairs += 1
-        self.topo.enable_link(link_id)
-
-        if not success:
-            # Still corrupting: the monitoring pipeline re-detects it and
-            # the strategy re-decides immediately (Figure 12's cycle).
-            if self.strategy.on_onset(link_id):
-                self._schedule_repair(heap, time_s, link_id)
-                return
-
-        # A genuine activation frees capacity: let the strategy re-evaluate
-        # the corrupting links it previously had to keep active.
-        for newly_disabled in self.strategy.on_activation():
-            self.metrics.disabled_on_activation += 1
-            self._schedule_repair(heap, time_s, newly_disabled)
+        return self.kernel.run()
 
 
-def _comparison_task(payload) -> SimulationResult:
+def _comparison_task(payload) -> RunResult:
     """One strategy's comparison run (module-level so pools can pickle it)."""
     topo_factory, trace, factory, kwargs = payload
     topo = topo_factory()
@@ -330,7 +167,7 @@ def run_comparison(
     technician_pool: Optional[int] = None,
     obs: Recorder = NULL_RECORDER,
     jobs: int = 1,
-) -> Dict[str, SimulationResult]:
+) -> Dict[str, RunResult]:
     """Run the same trace under several strategies on fresh topology copies.
 
     Args:
@@ -388,7 +225,7 @@ def run_comparison(
         outcomes = runner.map_tasks(_comparison_task, payloads)
         return dict(zip(names, outcomes))
 
-    results: Dict[str, SimulationResult] = {}
+    results: Dict[str, RunResult] = {}
     for name, factory in strategies.items():
         topo = topo_factory()
         strategy = factory(topo)

@@ -1,0 +1,770 @@
+"""The unified event-driven simulation kernel.
+
+One loop, two senses.  The paper's evaluation (§7) and the chaos
+extension exercise the *same* mitigation loop — corruption onsets,
+checker/optimizer decisions, ticketing, repair completions, penalty
+accounting — but until this module the repo maintained it twice: the
+event-driven ``MitigationSimulation`` and the tick-based
+``ChaosSimulation`` each owned a private heap, repair scheduler and
+snapshot bookkeeping.  :class:`SimulationKernel` owns all of that once,
+parameterized by a :class:`SensingPipeline` that decides how the world is
+*observed*:
+
+- :class:`OracleSensing` — ground-truth onsets reach the strategy
+  directly (the §7.1 apparatus);
+- :class:`TelemetrySensing` — nothing reaches the controller except via
+  poller → (fault-injected transport) → sanitizer → store → detection →
+  hardened controller (the chaos apparatus), with polls as first-class
+  heap events instead of a fixed tick loop.
+
+Event model
+-----------
+
+Heap entries are ``(time_s, kind, subkey, tie, payload)`` tuples:
+
+- ``time_s`` — when the kernel *processes* the event.  Pipelines may
+  quantize via :meth:`SensingPipeline.event_time`: oracle sensing is the
+  identity; telemetry sensing rounds up to the next poll tick (a
+  poll-driven system cannot react between polls) and drops events beyond
+  the last tick, reproducing the historical tick loop exactly.
+- ``kind`` — ``EVENT_ONSET < EVENT_REPAIR < EVENT_POOL_CHECK <
+  EVENT_POLL``; at equal times, ground truth is updated before repairs
+  complete, and both before the poll observes the world.
+- ``subkey`` — the *requested* (pre-quantization) time, so co-quantized
+  events keep their true causal order.
+- ``tie`` — monotone counter, making heap order total and deterministic
+  (and equal to insertion order as the final tiebreak).
+
+Bit-compatibility contract: runs through the kernel are bit-identical to
+the pre-kernel loops — pinned by tests/simulation/test_golden_equivalence
+and the committed fig17/fig18 reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from bisect import bisect_left
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.controller import CorrOptController
+from repro.core.path_counting import PathCounter
+from repro.core.penalty import PenaltyFn, linear_penalty
+from repro.core.resilience import AuditLog, CircuitBreaker, OnsetDebouncer
+from repro.faults.telemetry_faults import FaultyTransport, TelemetryFaultConfig
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.simulation.metrics import ChaosMetrics, SimulationMetrics
+from repro.simulation.results import RunResult
+from repro.simulation.strategies import MitigationStrategy
+from repro.telemetry.poller import SnmpPoller
+from repro.telemetry.sanitizer import TelemetrySanitizer
+from repro.telemetry.store import TelemetryStore
+from repro.ticketing.queue import TechnicianPoolQueue
+from repro.ticketing.ticket import Ticket
+from repro.topology.elements import Direction, LinkId
+from repro.topology.graph import Topology
+from repro.workloads.trace import CorruptionTrace
+
+DAY_S = 86_400.0
+
+#: Event kinds, in their at-equal-time processing order.
+EVENT_ONSET, EVENT_REPAIR, EVENT_POOL_CHECK, EVENT_POLL = 0, 1, 2, 3
+
+KIND_NAMES = {
+    EVENT_ONSET: "onset",
+    EVENT_REPAIR: "repair",
+    EVENT_POOL_CHECK: "pool-check",
+    EVENT_POLL: "poll",
+}
+
+
+class SensingPipeline:
+    """How a kernel run observes the world and reacts to it.
+
+    A pipeline owns everything *perception-side*: what an onset does to
+    the observable state, how (and whether) it is detected, what penalty
+    the run records, and which extra result sections the
+    :class:`~repro.simulation.results.RunResult` carries.  The kernel
+    owns everything *mechanics-side*: the heap, repair/pool scheduling,
+    the repair RNG, and metric snapshots.
+
+    To add a third sensing backend, subclass this, implement the
+    ``handle_*`` hooks plus :meth:`current_penalty`, and declare
+    ``span_names`` / ``snapshot_kinds``; see DESIGN.md §11.
+    """
+
+    #: Observability category for event spans.
+    span_cat: str = "kernel"
+    #: Per-kind span names for the kinds this pipeline schedules.
+    span_names: Dict[int, str] = KIND_NAMES
+    #: Kinds after which the kernel records a metrics snapshot (only for
+    #: events inside the run window).
+    snapshot_kinds: FrozenSet[int] = frozenset(
+        (EVENT_ONSET, EVENT_REPAIR, EVENT_POOL_CHECK, EVENT_POLL)
+    )
+    #: Strategy label stamped on the result.
+    strategy_name: str = ""
+
+    kernel: "SimulationKernel"
+
+    def attach(self, kernel: "SimulationKernel") -> None:
+        """Bind to the kernel (topology, RNG, metrics, recorder)."""
+        self.kernel = kernel
+
+    def bootstrap(self) -> None:
+        """Schedule the initial event population (trace onsets, polls)."""
+
+    def event_time(self, time_s: float) -> Optional[float]:
+        """Map a requested event time to its processing time.
+
+        Return ``None`` to drop the event (it can never be processed —
+        e.g. it lands beyond the last poll of a poll-driven run)."""
+        return time_s
+
+    # -- event hooks ---------------------------------------------------- #
+
+    def handle_onset(self, time_s: float, event) -> None:
+        raise NotImplementedError
+
+    def handle_repair(self, time_s: float, link_id: LinkId) -> None:
+        raise NotImplementedError
+
+    def handle_poll(self, time_s: float) -> None:
+        raise NotImplementedError
+
+    def pool_repair_succeeded(self, time_s: float, link_id: LinkId) -> None:
+        """A technician-pool visit fixed ``link_id`` (oracle-only today)."""
+        raise NotImplementedError
+
+    # -- snapshot hooks ------------------------------------------------- #
+
+    def current_penalty(self) -> float:
+        raise NotImplementedError
+
+    def tor_fractions(self) -> Optional[Tuple[float, float]]:
+        """(worst, average) ToR path fractions, or ``None`` to skip."""
+        return None
+
+    def after_snapshot(self, time_s: float, worst: float) -> None:
+        """Post-snapshot bookkeeping (e.g. capacity-violation checks)."""
+
+    # -- run end -------------------------------------------------------- #
+
+    def finish(self) -> None:
+        """End-of-run accounting before the result is assembled."""
+
+    def result_sections(self) -> Dict[str, object]:
+        """Extra :class:`RunResult` fields contributed by this pipeline."""
+        return {}
+
+
+class SimulationKernel:
+    """One event heap, one repair model, one snapshot path.
+
+    Args:
+        topo: Topology (mutated during the run; pass a copy to reuse).
+        duration_s: Run window; events past it still process (repairs
+            landing late still restore the topology) but are not
+            snapshotted, keeping the metric series consistent with
+            ``penalty_integral`` (which clips to the window).
+        pipeline: The sensing pipeline (attached on construction).
+        repair_accuracy: First-attempt repair success probability.
+        service_s: Ticket service time per attempt (§5.2: two days).
+        seed: RNG seed for repair outcomes.
+        full_repair_cycles: Simulate failed repairs as re-enable →
+            re-detect → re-disable cycles (Figure 12) instead of folding
+            them into a doubled service time.
+        technician_pool: When set, repairs flow through a FIFO queue
+            drained by this many technicians; failed repairs resubmit
+            the ticket for another service round.
+        obs: Observability recorder; each processed event emits a span
+            and per-kind counters (no-op by default).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        duration_s: float,
+        pipeline: SensingPipeline,
+        repair_accuracy: float = 0.8,
+        service_s: float = 2.0 * DAY_S,
+        seed: int = 0,
+        full_repair_cycles: bool = False,
+        technician_pool: Optional[int] = None,
+        obs: Recorder = NULL_RECORDER,
+    ):
+        if not 0.0 <= repair_accuracy <= 1.0:
+            raise ValueError("repair accuracy outside [0, 1]")
+        self.topo = topo
+        self.duration_s = duration_s
+        self.repair_accuracy = repair_accuracy
+        self.service_s = service_s
+        self.full_repair_cycles = full_repair_cycles
+        self.rng = random.Random(seed)
+        self.obs = obs
+        self.metrics = SimulationMetrics()
+        self._heap: List[Tuple[float, int, float, int, object]] = []
+        self._tiebreak = itertools.count()
+        #: Links with an outstanding scheduled repair.  Mirrors heap
+        #: residency: dropped (beyond-horizon) repairs stay pending
+        #: forever, exactly like never-popped entries in the old loops.
+        self._pending_repairs: Set[LinkId] = set()
+        self._pool: Optional[TechnicianPoolQueue] = None
+        self._next_pool_check: Optional[float] = None
+        if technician_pool is not None:
+            self._pool = TechnicianPoolQueue(
+                num_technicians=technician_pool,
+                service_time_s=service_s,
+                obs=obs,
+            )
+        self.pipeline = pipeline
+        pipeline.attach(self)
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, kind: int, time_s: float, payload=None) -> None:
+        """Push an event; the pipeline may quantize or drop it."""
+        when = self.pipeline.event_time(time_s)
+        if when is None:
+            return
+        heapq.heappush(
+            self._heap, (when, kind, time_s, next(self._tiebreak), payload)
+        )
+
+    def schedule_repair(self, time_s: float, link_id: LinkId) -> None:
+        """Send a disabled link to repair under the configured model."""
+        if self._pool is not None:
+            self._pool.submit(Ticket(link_id=link_id, created_s=time_s), time_s)
+            self.schedule_pool_check()
+            return
+        if self.full_repair_cycles:
+            done = time_s + self.service_s
+        else:
+            # Paper model: failed first repairs fold into a doubled stay.
+            attempts = 1 if self.rng.random() < self.repair_accuracy else 2
+            done = time_s + attempts * self.service_s
+        self._pending_repairs.add(link_id)
+        self.schedule(EVENT_REPAIR, done, link_id)
+
+    def repair_pending(self, link_id: LinkId) -> bool:
+        return link_id in self._pending_repairs
+
+    def schedule_pool_check(self) -> None:
+        """Schedule a wake-up at the pool's next completion time.
+
+        At most one check is outstanding: a new one is pushed only when
+        the next completion precedes the currently scheduled wake-up
+        (duplicate entries for the same completion would pop as empty
+        drains).
+        """
+        completion = self._pool.next_completion()
+        if completion is None:
+            return
+        if (
+            self._next_pool_check is not None
+            and completion >= self._next_pool_check
+        ):
+            return
+        self._next_pool_check = completion
+        self.schedule(EVENT_POOL_CHECK, completion)
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, time_s: float) -> None:
+        self.metrics.penalty.record(time_s, self.pipeline.current_penalty())
+        fractions = self.pipeline.tor_fractions()
+        if fractions is not None:
+            worst, average = fractions
+            self.metrics.worst_tor_fraction.record(time_s, worst)
+            self.metrics.average_tor_fraction.record(time_s, average)
+            self.pipeline.after_snapshot(time_s, worst)
+
+    # ------------------------------------------------------------------ #
+    # The loop
+    # ------------------------------------------------------------------ #
+
+    def _handle_pool_check(self, time_s: float) -> None:
+        """Drain finished technician visits; failed repairs re-enter the
+        queue for another service round (each failed attempt adds another
+        full service time, §5.2)."""
+        self._next_pool_check = None
+        for ticket in self._pool.pop_due(time_s):
+            if self.rng.random() < self.repair_accuracy:
+                self.pipeline.pool_repair_succeeded(time_s, ticket.link_id)
+            else:
+                self.metrics.failed_repairs += 1
+                self._pool.submit(
+                    Ticket(link_id=ticket.link_id, created_s=time_s), time_s
+                )
+        self.schedule_pool_check()
+
+    def run(self) -> RunResult:
+        """Drain the heap to the end; return the recorded metrics."""
+        pipeline = self.pipeline
+        pipeline.bootstrap()
+        duration_s = self.duration_s
+        obs = self.obs
+        span_names = pipeline.span_names
+        span_cat = pipeline.span_cat
+        snapshot_kinds = pipeline.snapshot_kinds
+        heap = self._heap
+        while heap:
+            time_s, kind, _subkey, _tie, payload = heapq.heappop(heap)
+            obs.set_sim_time(time_s)
+            with obs.span(span_names[kind], cat=span_cat):
+                if kind == EVENT_ONSET:
+                    pipeline.handle_onset(time_s, payload)
+                elif kind == EVENT_REPAIR:
+                    self._pending_repairs.discard(payload)
+                    pipeline.handle_repair(time_s, payload)
+                elif kind == EVENT_POOL_CHECK:
+                    self._handle_pool_check(time_s)
+                else:
+                    pipeline.handle_poll(time_s)
+                if obs.enabled:
+                    obs.count("sim_events_total", kind=KIND_NAMES[kind])
+            if kind in snapshot_kinds and time_s <= duration_s:
+                self.snapshot(time_s)
+
+        pipeline.finish()
+        return RunResult(
+            strategy_name=pipeline.strategy_name,
+            duration_s=duration_s,
+            metrics=self.metrics,
+            **pipeline.result_sections(),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Oracle sensing: ground truth straight to the strategy (§7.1)
+# ---------------------------------------------------------------------- #
+
+
+class OracleSensing(SensingPipeline):
+    """Direct-trace sensing: every onset reaches the strategy instantly.
+
+    Answers "how good are the decisions when the inputs are perfect?" —
+    the paper's experimental apparatus.
+    """
+
+    span_cat = "engine"
+    span_names = {
+        EVENT_ONSET: "sim.onset",
+        EVENT_REPAIR: "sim.repair",
+        EVENT_POOL_CHECK: "sim.pool-check",
+    }
+    snapshot_kinds = frozenset((EVENT_ONSET, EVENT_REPAIR, EVENT_POOL_CHECK))
+
+    def __init__(
+        self,
+        trace: CorruptionTrace,
+        strategy: MitigationStrategy,
+        penalty_fn: PenaltyFn = linear_penalty,
+        track_capacity: bool = True,
+    ):
+        self.trace = trace
+        self.strategy = strategy
+        self.penalty_fn = penalty_fn
+        self.track_capacity = track_capacity
+        self._counter: Optional[PathCounter] = None
+        self._rates: Dict[LinkId, float] = {}
+
+    @property
+    def strategy_name(self) -> str:  # type: ignore[override]
+        return self.strategy.name
+
+    def attach(self, kernel: SimulationKernel) -> None:
+        super().attach(kernel)
+        topo = kernel.topo
+        if self.track_capacity:
+            # Share the strategy's counter when it has one bound to this
+            # topology (CorrOpt / fast-checker strategies do), so the run
+            # maintains a single incremental DP instead of several.
+            shared = getattr(self.strategy, "counter", None)
+            if isinstance(shared, PathCounter) and shared.topo is topo:
+                self._counter = shared
+            else:
+                self._counter = PathCounter(topo)
+        # Links with an outstanding fault, in onset order.  Doubles as
+        # the penalty support set: the total penalty only ranges over
+        # these, so a snapshot costs O(#corrupting links), not O(|E|).
+        self._rates = {
+            lid: topo.link(lid).max_corruption_rate()
+            for lid in topo.corrupting_links()
+        }
+
+    def bootstrap(self) -> None:
+        for event in self.trace.events:
+            self.kernel.schedule(EVENT_ONSET, event.time_s, event)
+
+    # -- events --------------------------------------------------------- #
+
+    def handle_onset(self, time_s: float, event) -> None:
+        kernel = self.kernel
+        topo = kernel.topo
+        metrics = kernel.metrics
+        for link_id, condition in zip(event.link_ids, event.conditions):
+            link = topo.link(link_id)
+            if not link.enabled or link_id in self._rates:
+                continue  # already mitigated or already corrupting
+            metrics.onsets += 1
+            self._rates[link_id] = condition.fwd_rate
+            topo.set_corruption(link_id, condition.fwd_rate, Direction.UP)
+            if condition.rev_rate > 0:
+                topo.set_corruption(link_id, condition.rev_rate, Direction.DOWN)
+            if self.strategy.on_onset(link_id):
+                metrics.disabled_on_onset += 1
+                kernel.schedule_repair(time_s, link_id)
+            else:
+                metrics.kept_active_on_onset += 1
+
+    def handle_repair(self, time_s: float, link_id: LinkId) -> None:
+        kernel = self.kernel
+        metrics = kernel.metrics
+        success = True
+        if kernel.full_repair_cycles:
+            success = kernel.rng.random() < kernel.repair_accuracy
+        if success:
+            kernel.topo.clear_corruption(link_id)
+            self._rates.pop(link_id, None)
+            metrics.repairs_completed += 1
+        else:
+            metrics.failed_repairs += 1
+        kernel.topo.enable_link(link_id)
+
+        if not success:
+            # Still corrupting: the monitoring pipeline re-detects it and
+            # the strategy re-decides immediately (Figure 12's cycle).
+            if self.strategy.on_onset(link_id):
+                kernel.schedule_repair(time_s, link_id)
+                return
+
+        # A genuine activation frees capacity: let the strategy
+        # re-evaluate the corrupting links it previously kept active.
+        for newly_disabled in self.strategy.on_activation():
+            metrics.disabled_on_activation += 1
+            kernel.schedule_repair(time_s, newly_disabled)
+
+    def pool_repair_succeeded(self, time_s: float, link_id: LinkId) -> None:
+        kernel = self.kernel
+        kernel.topo.clear_corruption(link_id)
+        self._rates.pop(link_id, None)
+        kernel.metrics.repairs_completed += 1
+        kernel.topo.enable_link(link_id)
+        for newly_disabled in self.strategy.on_activation():
+            kernel.metrics.disabled_on_activation += 1
+            kernel.schedule_repair(time_s, newly_disabled)
+
+    # -- snapshots ------------------------------------------------------ #
+
+    def current_penalty(self) -> float:
+        """§5.1's ``sum_l (1 - d_l) * I(f_l)`` over outstanding faults."""
+        topo = self.kernel.topo
+        total = 0.0
+        for lid in self._rates:
+            link = topo.link(lid)
+            if link.enabled and link.is_corrupting():
+                total += self.penalty_fn(link.max_corruption_rate())
+        return total
+
+    def tor_fractions(self) -> Optional[Tuple[float, float]]:
+        if self._counter is None:
+            return None
+        return (
+            self._counter.worst_tor_fraction(),
+            self._counter.average_tor_fraction(),
+        )
+
+    # -- run end -------------------------------------------------------- #
+
+    def finish(self) -> None:
+        obs = self.kernel.obs
+        if obs.enabled and self._counter is not None:
+            obs.scrape_path_counter(self._counter, role="engine")
+
+    def result_sections(self) -> Dict[str, object]:
+        return {"optimizer_stats": self.strategy.optimizer_stats}
+
+
+# ---------------------------------------------------------------------- #
+# Telemetry sensing: the world as SNMP counters see it
+# ---------------------------------------------------------------------- #
+
+
+class TelemetrySensing(SensingPipeline):
+    """Poll-driven sensing through the full monitoring path.
+
+    Nothing reaches the controller except through::
+
+        trace onsets → topology ground truth → SNMP counters →
+        (fault-injected transport) → sanitizer → store →
+        detection → hardened controller → disable / fail-safe keep
+
+    Polls are heap events (``EVENT_POLL``) at ``k * poll_interval_s``.
+    Onsets and repair completions quantize *up* to the next poll tick —
+    a poll-driven system cannot observe or act between polls — with the
+    true event time as the heap subkey so co-quantized events keep their
+    causal order, and events beyond the last poll are dropped (the run
+    never observes them).  This reproduces the historical tick loop
+    bit-for-bit while sharing the kernel's heap, repair scheduler and
+    snapshot path.
+
+    Determinism contract: with a fault config whose rates are all zero
+    (or no config at all) the run is bit-identical to the fault-free
+    run — the chaos apparatus must not perturb the system it observes.
+    """
+
+    span_cat = "chaos"
+    span_names = {
+        EVENT_ONSET: "chaos.onsets",
+        EVENT_REPAIR: "chaos.repair",
+        EVENT_POLL: "tick",
+    }
+    snapshot_kinds = frozenset((EVENT_POLL,))
+    strategy_name = "corropt"
+
+    def __init__(
+        self,
+        trace: CorruptionTrace,
+        constraint,
+        fault_config: Optional[TelemetryFaultConfig] = None,
+        detection_threshold: float = 1e-7,
+        packets_per_poll: int = 10_000_000,
+        poll_interval_s: float = 900.0,
+        debounce_confirm: int = 2,
+        max_decisions: int = 4096,
+    ):
+        self.trace = trace
+        self.constraint = constraint
+        self.fault_config = fault_config
+        self.detection_threshold = detection_threshold
+        self.packets_per_poll = packets_per_poll
+        self.poll_interval_s = poll_interval_s
+        self.debounce_confirm = debounce_confirm
+        self.max_decisions = max_decisions
+
+    def attach(self, kernel: SimulationKernel) -> None:
+        super().attach(kernel)
+        topo = kernel.topo
+        obs = kernel.obs
+        interval = self.poll_interval_s
+        # Tick times accumulate exactly like the poller's internal clock
+        # (`time_s += interval`), so scheduled polls compare equal to
+        # poll_once() timestamps even for non-representable intervals.
+        self._ticks: List[float] = []
+        tick = 0.0
+        for _ in range(int(kernel.duration_s / interval)):
+            tick += interval
+            self._ticks.append(tick)
+
+        self.store = TelemetryStore()
+        self.sanitizer = TelemetrySanitizer(interval_s=interval, obs=obs)
+        self.transport = (
+            FaultyTransport(self.fault_config)
+            if self.fault_config is not None
+            else None
+        )
+        self.poller = SnmpPoller(
+            topo,
+            self.store,
+            packets_fn=lambda _did, _t: self.packets_per_poll,
+            interval_s=interval,
+            transport=self.transport,
+            sanitizer=self.sanitizer,
+            obs=obs,
+        )
+        self.audit = AuditLog()
+        self.controller = CorrOptController(
+            topo,
+            self.constraint,
+            quarantine_fn=self.sanitizer.link_quarantined,
+            debouncer=OnsetDebouncer(
+                confirm=self.debounce_confirm,
+                window_s=3 * interval,
+                high=self.detection_threshold,
+            ),
+            optimizer_breaker=CircuitBreaker(),
+            max_decisions=self.max_decisions,
+            audit=self.audit,
+            obs=obs,
+        )
+
+        self.chaos = ChaosMetrics()
+        # Ground truth bookkeeping: outstanding fault onset times and
+        # which of them the telemetry pipeline has noticed.
+        self._onset_time: Dict[LinkId, float] = {}
+        self._detected: Set[LinkId] = set()
+        self._min_threshold = min(
+            [self.constraint.default] + list(self.constraint.per_tor.values())
+        )
+
+    def bootstrap(self) -> None:
+        kernel = self.kernel
+        for event in sorted(self.trace.events, key=lambda e: e.time_s):
+            kernel.schedule(EVENT_ONSET, event.time_s, event)
+        for tick in self._ticks:
+            kernel.schedule(EVENT_POLL, tick)
+
+    def event_time(self, time_s: float) -> Optional[float]:
+        """Quantize to the next poll tick; drop beyond the last poll."""
+        idx = bisect_left(self._ticks, time_s)
+        if idx == len(self._ticks):
+            return None
+        return self._ticks[idx]
+
+    # -- events --------------------------------------------------------- #
+
+    def handle_onset(self, time_s: float, event) -> None:
+        """Write ground-truth corruption for one trace event."""
+        topo = self.kernel.topo
+        metrics = self.kernel.metrics
+        for link_id, condition in zip(event.link_ids, event.conditions):
+            link = topo.link(link_id)
+            if not link.enabled or link_id in self._onset_time:
+                continue  # already mitigated or already corrupting
+            metrics.onsets += 1
+            self._onset_time[link_id] = event.time_s
+            topo.set_corruption(link_id, condition.fwd_rate, Direction.UP)
+            if condition.rev_rate > 0:
+                topo.set_corruption(link_id, condition.rev_rate, Direction.DOWN)
+
+    def handle_repair(self, time_s: float, link_id: LinkId) -> None:
+        kernel = self.kernel
+        self._onset_time.pop(link_id, None)
+        self._detected.discard(link_id)
+        kernel.metrics.repairs_completed += 1
+        before = self.controller.log.disabled_by_optimizer
+        result = self.controller.activate_link(
+            link_id, repaired=True, time_s=time_s
+        )
+        newly = self.controller.log.disabled_by_optimizer - before
+        kernel.metrics.disabled_on_activation += newly
+        # Optimizer-driven disables also need repair visits (skip any the
+        # fail-safe rule kept active despite the plan).
+        for lid in sorted(result.to_disable):
+            if not kernel.topo.link(lid).enabled and not kernel.repair_pending(
+                lid
+            ):
+                kernel.schedule_repair(time_s, lid)
+
+    def handle_poll(self, time_s: float) -> None:
+        # poll_once() emits its own poll > collect/sanitize/store span
+        # subtree, nested under this tick span.
+        polled = self.poller.poll_once()
+        assert polled == time_s
+        self.chaos.polls += 1
+        with self.kernel.obs.span("chaos.detect", cat="chaos"):
+            self._detect_and_report(time_s)
+
+    def _detect_and_report(self, now: float) -> None:
+        """Raise controller reports from fresh telemetry samples."""
+        kernel = self.kernel
+        topo = kernel.topo
+        for link in list(topo.links()):
+            if not link.enabled:
+                continue
+            link_id = link.link_id
+            for direction in (Direction.UP, Direction.DOWN):
+                did = link.direction_id(direction)
+                sample = self.store.last_sample(did)
+                if sample is None:
+                    continue
+                time_s, corruption, _cong, _util, _quality = sample
+                if time_s != now:
+                    continue  # no fresh sample this tick
+                if corruption < self.detection_threshold:
+                    continue
+                was_quarantined = self.sanitizer.link_quarantined(link_id)
+                truly_corrupting = (
+                    topo.link(link_id).max_corruption_rate() > 0
+                )
+                decision = self.controller.report_corruption(
+                    link_id, corruption, direction, time_s=now
+                )
+                if truly_corrupting and link_id not in self._detected:
+                    self._detected.add(link_id)
+                    self.chaos.detections += 1
+                    onset = self._onset_time.get(link_id, now)
+                    self.chaos.detection_delay_polls += max(
+                        0.0, (now - onset) / self.poll_interval_s
+                    )
+                if decision.disabled:
+                    kernel.metrics.disabled_on_onset += 1
+                    if was_quarantined:
+                        self.chaos.quarantine_violations += 1
+                    if not truly_corrupting:
+                        self.chaos.false_disables += 1
+                    kernel.schedule_repair(now, link_id)
+                    break  # link is down; no point checking the other side
+                elif decision.fast_check is not None:
+                    kernel.metrics.kept_active_on_onset += 1
+
+    # -- snapshots ------------------------------------------------------ #
+
+    def current_penalty(self) -> float:
+        return self.controller.current_penalty()
+
+    def tor_fractions(self) -> Tuple[float, float]:
+        return (
+            self.controller.worst_tor_fraction(),
+            self.controller.average_tor_fraction(),
+        )
+
+    def after_snapshot(self, time_s: float, worst: float) -> None:
+        if worst < self._min_threshold - 1e-9:
+            self.chaos.capacity_violations += 1
+        quarantined = self.sanitizer.quarantined_directions()
+        self.chaos.quarantined_peak = max(
+            self.chaos.quarantined_peak, quarantined
+        )
+
+    # -- run end -------------------------------------------------------- #
+
+    def finish(self) -> None:
+        # Faults outstanding at the end that telemetry never surfaced.
+        self.chaos.missed_mitigations = sum(
+            1 for lid in self._onset_time if lid not in self._detected
+        )
+        self.chaos.missed_polls = self.poller.missed_polls
+        self.chaos.degraded_samples = (
+            self.sanitizer.stats.missing
+            + self.sanitizer.stats.resets_detected
+            + self.sanitizer.stats.freezes_detected
+            + self.sanitizer.stats.duplicates_dropped
+            + self.sanitizer.stats.out_of_order_dropped
+        )
+        self.chaos.decisions_in_degraded_mode = (
+            self.controller.log.fail_safe_keeps
+            + self.controller.log.optimizer_fallbacks
+        )
+        if self.kernel.obs.enabled:
+            self._scrape_final()
+
+    def _scrape_final(self) -> None:
+        """Export end-of-run stats from components that keep their own
+        counters (path counter, optimizer, sanitizer) into the registry."""
+        obs = self.kernel.obs
+        obs.scrape_path_counter(self.controller.counter, role="controller")
+        obs.scrape_optimizer_stats(
+            self.controller.log.optimizer_stats, role="controller"
+        )
+        self.sanitizer.flush_obs_counts()
+        for key, value in vars(self.sanitizer.stats).items():
+            obs.gauge(f"sanitizer_stats_{key}", value)
+        obs.gauge(
+            "sanitizer_quarantined_directions",
+            self.sanitizer.quarantined_directions(),
+        )
+
+    def result_sections(self) -> Dict[str, object]:
+        return {
+            "chaos": self.chaos,
+            "audit": self.audit,
+            "sanitizer_stats": self.sanitizer.stats,
+            "controller_log": self.controller.log,
+        }
