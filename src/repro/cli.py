@@ -8,6 +8,8 @@ Subcommands mirror the system's operational surfaces:
   (or several at once with ``--strategies a,b --jobs N``);
 - ``sweep``     — run a strategies × capacities × seeds grid through the
   deterministic parallel runner, emitting canonical JSONL;
+- ``tournament`` — every mitigation strategy head-to-head across presets ×
+  penalty functions × LG coverages, with a canonical leaderboard;
 - ``chaos``     — closed-loop run with telemetry faults injected into the
   monitoring path (sanitizer + fail-safe controller in the loop);
 - ``recommend`` — run Algorithm 1 on one link's observed symptoms;
@@ -26,6 +28,22 @@ import argparse
 import json
 import sys
 from typing import List, Optional
+
+#: Every runnable mitigation strategy, kept as a literal so ``--help``
+#: works without importing the simulation stack.  Pinned against
+#: ``repro.simulation.strategies.STRATEGY_NAMES`` by the registry test.
+STRATEGY_CHOICES = (
+    "corropt",
+    "fast-checker-only",
+    "switch-local",
+    "none",
+    "drain",
+    "linkguardian",
+    "lg+corropt",
+)
+
+#: Penalty-function names; pinned against ``repro.core.penalty``.
+PENALTY_CHOICES = ("linear", "tcp-throughput", "step")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -169,7 +187,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             topo=scenario._base_topo,
         )
     result = run_scenario(
-        scenario, args.strategy, repair_accuracy=args.repair_accuracy, obs=obs
+        scenario,
+        args.strategy,
+        repair_accuracy=args.repair_accuracy,
+        obs=obs,
+        lg_coverage=args.lg_coverage,
+        penalty=args.penalty,
     )
     metrics = result.metrics
     print(
@@ -185,6 +208,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"kept active: {metrics.kept_active_on_onset}"
     )
     print(f"worst ToR path fraction: {metrics.worst_tor_fraction.min_value():.3f}")
+    if args.lg_coverage:
+        print(
+            f"linkguardian: coverage {args.lg_coverage:.0%}, "
+            f"{metrics.lg_protections} protections, "
+            f"effective capacity min "
+            f"{metrics.effective_capacity.min_value():.3f}"
+        )
     if result.optimizer_stats is not None and result.optimizer_stats.runs:
         print(f"optimizer: {result.optimizer_stats.summary()}")
     if obs.enabled:
@@ -196,12 +226,11 @@ def _simulate_comparison(args: argparse.Namespace, scenario) -> int:
     """``simulate --strategies a,b,c``: same trace, several strategies."""
     from repro.parallel.grid import parse_str_list
     from repro.simulation.engine import run_comparison
-    from repro.simulation.scenarios import StrategyFactory, standard_strategies
+    from repro.simulation.scenarios import StrategyFactory
 
     names = parse_str_list(args.strategies)
-    lineup = standard_strategies(scenario.capacity)
     factories = {
-        name: lineup.get(name, StrategyFactory(name, scenario.capacity))
+        name: StrategyFactory(name, scenario.capacity, penalty=args.penalty)
         for name in names
     }
     results = run_comparison(
@@ -267,6 +296,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 else None
             ),
             fault_seed=args.fault_seed,
+            penalties=(
+                parse_str_list(args.penalties) if args.penalties else None
+            ),
+            lg_coverages=(
+                parse_float_list(args.lg_coverages)
+                if args.lg_coverages
+                else None
+            ),
         )
     specs = grid.expand()
     runner = ParallelRunner(
@@ -291,6 +328,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.manifest_out:
         manifest.write(args.manifest_out)
         print(f"run manifest: {args.manifest_out}")
+    return 0 if not sweep.failures() else 1
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    """Run every strategy head-to-head and print the leaderboard."""
+    from repro.parallel import (
+        leaderboard_lines,
+        parse_float_list,
+        parse_int_list,
+        parse_str_list,
+        run_tournament,
+        summary_lines,
+        tournament_grid,
+        write_tournament_jsonl,
+    )
+
+    grid = tournament_grid(
+        presets=parse_str_list(args.presets),
+        capacities=parse_float_list(args.capacities),
+        penalties=parse_str_list(args.penalties),
+        lg_coverages=parse_float_list(args.lg_coverages),
+        strategies=(
+            parse_str_list(args.strategies) if args.strategies else None
+        ),
+        trace_seeds=parse_int_list(args.seeds),
+        scale=args.scale,
+        duration_days=args.days,
+        events_per_10k=args.events,
+        repair_accuracy=args.repair_accuracy,
+    )
+    sweep = run_tournament(
+        grid,
+        jobs=args.jobs,
+        max_retries=args.retries,
+        timeout_s=args.timeout,
+    )
+    for line in summary_lines(sweep):
+        print(line)
+    print("leaderboard (lower penalty integral wins):")
+    for line in leaderboard_lines(sweep):
+        print(f"  {line}")
+    if args.out:
+        write_tournament_jsonl(args.out, sweep, timing=not args.no_timing)
+        print(f"tournament results: {args.out}")
     return 0 if not sweep.failures() else 1
 
 
@@ -588,12 +669,16 @@ def _print_trace_summary(obj: dict) -> None:
 def _print_sweep_summary(lines: List[str]) -> None:
     header = json.loads(lines[0]) if lines else {}
     rows = [json.loads(line) for line in lines[1:] if line.strip()]
+    leaderboards = [row for row in rows if row.get("type") == "leaderboard"]
+    rows = [row for row in rows if row.get("type") != "leaderboard"]
     ok = sum(1 for row in rows if row.get("status") == "ok")
     print(
         f"sweep: repro {header.get('repro_version', '?')}, "
         f"{ok}/{header.get('jobs_total', len(rows))} jobs ok, "
         f"grid {header.get('grid_digest', '?')[:18]}..."
     )
+    if leaderboards:
+        print(f"  {len(leaderboards)} leaderboard group(s)")
     for row in rows:
         if row.get("status") != "ok":
             error = row.get("error", {})
@@ -693,8 +778,17 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--dcn", choices=["medium", "large"], default="medium")
     sim.add_argument(
         "--strategy",
-        choices=["corropt", "fast-checker-only", "switch-local", "none"],
+        choices=list(STRATEGY_CHOICES),
         default="corropt",
+    )
+    sim.add_argument(
+        "--penalty", choices=list(PENALTY_CHOICES), default="linear",
+        help="penalty function the optimizer-driven strategies minimize",
+    )
+    sim.add_argument(
+        "--lg-coverage", type=float, default=0.0, metavar="FRAC",
+        help="fraction of links that are LinkGuardian-capable "
+             "(deterministic per-link hash; 0 disables LG)",
     )
     sim.add_argument("--capacity", type=float, default=0.75)
     sim.add_argument("--days", type=int, default=30)
@@ -744,6 +838,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="telemetry fault RNG seed for --chaos-preset jobs",
     )
+    sweep.add_argument(
+        "--penalties", default=None, metavar="NAMES",
+        help="comma list of penalty functions "
+             "(linear,tcp-throughput,step); adds a grid axis",
+    )
+    sweep.add_argument(
+        "--lg-coverages", default=None, metavar="FRACS",
+        help="comma list of LinkGuardian coverage fractions; adds a "
+             "grid axis (simulate grids only)",
+    )
     sweep.add_argument("--scale", type=float, default=0.25)
     sweep.add_argument("--days", type=float, default=30.0)
     sweep.add_argument("--events", type=float, default=4.0)
@@ -766,6 +870,51 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--manifest-out", metavar="FILE",
                        help="write the sweep provenance manifest (JSON)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    tour = sub.add_parser(
+        "tournament",
+        help="every strategy head-to-head, with a canonical leaderboard",
+    )
+    tour.add_argument("--presets", default="medium,large",
+                      help="comma list of DCN presets")
+    tour.add_argument(
+        "--strategies", default=None,
+        help="comma list of strategies (default: all of them)",
+    )
+    tour.add_argument(
+        "--capacities", default="0.75,0.9",
+        help="comma list of capacity constraints (0.75 is the paper's "
+             "realistic regime; 0.9 squeezes CorrOpt in LG's favor)",
+    )
+    tour.add_argument(
+        "--penalties", default="linear,tcp-throughput",
+        help="comma list of penalty functions "
+             "(linear,tcp-throughput,step)",
+    )
+    tour.add_argument(
+        "--lg-coverages", default="0.9", metavar="FRACS",
+        help="comma list of LinkGuardian coverage fractions",
+    )
+    tour.add_argument("--seeds", default="0",
+                      help="trace seeds: comma list or 'a:b' range")
+    tour.add_argument("--scale", type=float, default=0.25)
+    tour.add_argument("--days", type=float, default=30.0)
+    tour.add_argument("--events", type=float, default=4.0)
+    tour.add_argument("--repair-accuracy", type=float, default=0.8)
+    tour.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (0 = all CPUs)")
+    tour.add_argument("--retries", type=int, default=2,
+                      help="retry budget per job after crashes/exceptions")
+    tour.add_argument("--timeout", type=float, default=None,
+                      help="no-progress watchdog in seconds")
+    tour.add_argument("--out", metavar="FILE.jsonl",
+                      help="write canonical JSONL (results + leaderboard)")
+    tour.add_argument(
+        "--no-timing", action="store_true",
+        help="omit wall-clock fields so outputs are byte-identical "
+             "across --jobs values",
+    )
+    tour.set_defaults(func=_cmd_tournament)
 
     chaos = sub.add_parser(
         "chaos", help="closed-loop run with telemetry faults"

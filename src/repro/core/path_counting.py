@@ -154,6 +154,9 @@ class PathCounter:
         self._affected_cache: Dict[LinkId, Set[str]] = {}
         self._state_version = 0
         self._full_cache: Optional[Tuple[int, Dict[str, int]]] = None
+        self._effective_cache: Optional[
+            Tuple[Tuple[int, int], Dict[str, float]]
+        ] = None
         self._rebuild_live_state()
 
     def _rebuild_live_state(self) -> None:
@@ -533,6 +536,77 @@ class PathCounter:
             else 0.0
             for tor in tors
         }
+
+    # ------------------------------------------------------------------ #
+    # Effective capacity (LinkGuardian-aware)
+    # ------------------------------------------------------------------ #
+
+    def _effective_counts(self) -> Dict[str, float]:
+        """Float DP weighting each uplink by its effective capacity fraction.
+
+        LinkGuardian-protected links stay ENABLED but deliver only
+        ``lg_capacity_fraction`` of their bandwidth (retransmissions cost
+        capacity), so penalty snapshots that account for LG need a
+        fractional path count: ``eff[v] = Σ frac(l) · eff[upper(l)]`` over
+        enabled uplinks, with ``eff[spine] = 1``.  With no protected links
+        this reduces exactly to the integer DP and we reuse it.  Memoized
+        against both the admin-state version and the topology's LG version.
+        """
+        key = (self._state_version, self._topo.lg_version)
+        cached = self._effective_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        topo = self._topo
+        top = self._top
+        counts: Dict[str, float] = {}
+        visited = 0
+        for name in self._descending:
+            if self._stage_of[name] == top:
+                counts[name] = 1.0
+                continue
+            total = 0.0
+            for lid in topo.uplinks(name):
+                visited += 1
+                link = topo.link(lid)
+                frac = link.effective_capacity_fraction()
+                if frac:
+                    total += frac * counts[link.upper]
+            counts[name] = total
+        self.stats.links_visited += visited
+        self._effective_cache = (key, counts)
+        return counts
+
+    def effective_tor_fractions(self) -> Dict[str, float]:
+        """ToR capacity fractions with LG-protected links partially weighted.
+
+        Identical to :meth:`tor_fractions` when no link is protected
+        (the common case short-circuits to the exact integer counts).
+        """
+        if not self._topo.lg_protected_links():
+            return self.tor_fractions()
+        counts = self._effective_counts()
+        baseline = self._baseline
+        return {
+            tor: counts[tor] / baseline[tor] if baseline[tor] else 0.0
+            for tor in self._tor_list
+        }
+
+    def effective_average_tor_fraction(self) -> float:
+        """Mean effective ToR capacity fraction (LG-aware §7.3 metric)."""
+        if not self._num_tors:
+            return 1.0
+        if not self._topo.lg_protected_links():
+            return self.average_tor_fraction()
+        fractions = self.effective_tor_fractions()
+        return sum(fractions.values()) / self._num_tors
+
+    def effective_worst_tor_fraction(self) -> float:
+        """Minimum effective ToR capacity fraction (LG-aware)."""
+        if not self._num_tors:
+            return 1.0
+        if not self._topo.lg_protected_links():
+            return self.worst_tor_fraction()
+        return min(self.effective_tor_fractions().values())
 
     def affected_tors(self, link_id: LinkId) -> Set[str]:
         """ToRs whose path count could change if ``link_id`` were disabled.

@@ -52,6 +52,29 @@ def step_penalty(rate: float, threshold: float = 1e-3, weight: float = 1.0) -> f
     return weight if rate >= threshold else 0.0
 
 
+#: Canonical name → penalty-function registry.  The single lookup shared
+#: by the parallel worker, scenarios and the CLI, so penalty names mean
+#: the same thing everywhere (mirrors ``STRATEGY_NAMES`` for strategies).
+PENALTY_BY_NAME = {
+    "linear": linear_penalty,
+    "tcp-throughput": tcp_throughput_penalty,
+    "step": step_penalty,
+}
+
+#: Recognized penalty names, in presentation order.
+PENALTY_NAMES = tuple(PENALTY_BY_NAME)
+
+
+def penalty_by_name(name: str) -> PenaltyFn:
+    """Look up a penalty function by canonical name; loud on unknowns."""
+    try:
+        return PENALTY_BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown penalty {name!r}; choose from {list(PENALTY_BY_NAME)}"
+        ) from None
+
+
 def total_penalty(
     topo: Topology,
     penalty_fn: PenaltyFn = linear_penalty,

@@ -181,6 +181,21 @@ def validate_audit_jsonl(lines: Sequence[str]) -> List[str]:
     return problems
 
 
+#: Strategy names a sweep/tournament row may carry.  Kept as a literal
+#: so the schema module stays import-light; pinned against
+#: :data:`repro.simulation.strategies.STRATEGY_NAMES` by the registry
+#: test.
+SWEEP_STRATEGY_NAMES = (
+    "corropt",
+    "fast-checker-only",
+    "switch-local",
+    "none",
+    "drain",
+    "linkguardian",
+    "lg+corropt",
+)
+
+
 #: Integer-count chaos columns every ok chaos row must carry.
 CHAOS_COUNT_COLUMNS = (
     "polls",
@@ -221,6 +236,41 @@ def _chaos_row_problems(chaos: object, lineno: int) -> List[str]:
     return problems
 
 
+def _leaderboard_row_problems(record: Dict, lineno: int) -> List[str]:
+    """Problems with one ``type="leaderboard"`` tournament row."""
+    problems: List[str] = []
+    for key in ("preset", "penalty"):
+        if not isinstance(record.get(key), str):
+            problems.append(f"line {lineno}: leaderboard missing string {key!r}")
+    for key in ("capacity", "lg_coverage"):
+        if not isinstance(record.get(key), (int, float)):
+            problems.append(
+                f"line {lineno}: leaderboard missing numeric {key!r}"
+            )
+    entries = record.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return problems + [
+            f"line {lineno}: leaderboard missing non-empty 'entries'"
+        ]
+    for position, entry in enumerate(entries):
+        where = f"line {lineno}: entries[{position}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        rank = entry.get("rank")
+        if not isinstance(rank, int) or rank != position + 1:
+            problems.append(f"{where}: bad rank {rank!r} (want {position + 1})")
+        strategy = entry.get("strategy")
+        if strategy not in SWEEP_STRATEGY_NAMES:
+            problems.append(f"{where}: unknown strategy {strategy!r}")
+        if not isinstance(entry.get("mean_penalty_integral"), (int, float)):
+            problems.append(f"{where}: missing numeric 'mean_penalty_integral'")
+        runs = entry.get("runs")
+        if not isinstance(runs, int) or runs <= 0:
+            problems.append(f"{where}: missing positive integer 'runs'")
+    return problems
+
+
 def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
     """Problems with a ``repro sweep`` JSONL export (empty list = valid)."""
     problems: List[str] = []
@@ -256,6 +306,11 @@ def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
             continue
         if not isinstance(record, dict):
             problems.append(f"line {lineno}: record is not an object")
+            continue
+        if record.get("type") == "leaderboard":
+            # Tournament files append ranked leaderboard rows after the
+            # result rows; they do not count toward jobs_total.
+            problems.extend(_leaderboard_row_problems(record, lineno))
             continue
         if record.get("type") != "result":
             problems.append(

@@ -41,6 +41,15 @@ from repro.parallel.runner import (
     run_sweep,
 )
 from repro.parallel.spec import JobSpec, job_seed
+from repro.parallel.tournament import (
+    TOURNAMENT_STRATEGIES,
+    leaderboard_lines,
+    leaderboard_rows,
+    run_tournament,
+    tournament_grid,
+    tournament_rows,
+    write_tournament_jsonl,
+)
 from repro.parallel.worker import (
     JobRecord,
     ScenarioCache,
@@ -56,22 +65,28 @@ __all__ = [
     "ParallelRunner",
     "ScenarioCache",
     "SweepResult",
+    "TOURNAMENT_STRATEGIES",
     "available_cpus",
     "build_strategy",
     "build_sweep_manifest",
     "calibration_grid",
     "execute_job",
     "job_seed",
+    "leaderboard_lines",
+    "leaderboard_rows",
     "merge_optimizer_stats",
     "parse_float_list",
     "parse_int_list",
     "parse_str_list",
     "record_row",
     "run_sweep",
+    "run_tournament",
     "series_digest",
     "summary_lines",
     "sweep_registry",
     "sweep_rows",
+    "tournament_grid",
+    "tournament_rows",
     "worker_cache",
     "write_sweep_jsonl",
 ]

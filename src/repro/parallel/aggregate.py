@@ -77,6 +77,14 @@ def record_row(
         )
         if result.optimizer_stats is not None:
             row["optimizer"] = result.optimizer_stats.as_dict()
+        if record.spec.lg_coverage > 0.0:
+            row["lg"] = {
+                "coverage": record.spec.lg_coverage,
+                "protections": metrics.lg_protections,
+                "effective_capacity_min": (
+                    metrics.effective_capacity.min_value()
+                ),
+            }
         if result.chaos is not None:
             chaos = result.chaos
             row["chaos"] = {

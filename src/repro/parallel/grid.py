@@ -3,9 +3,9 @@
 A :class:`GridSpec` is the §7-style cross-product — presets × strategies
 × capacities × trace seeds — plus the scalar knobs shared by every cell.
 ``expand()`` flattens it into :class:`~repro.parallel.spec.JobSpec`\\ s in
-a fixed nesting order (preset, capacity, strategy, trace seed), so the
-same grid always yields the same job list, which is what makes sweep
-outputs byte-comparable across worker counts.
+a fixed nesting order (preset, capacity, penalty, strategy, LG coverage,
+trace seed), so the same grid always yields the same job list, which is
+what makes sweep outputs byte-comparable across worker counts.
 
 Grids parse from CLI flags (comma lists, ``a:b`` integer ranges) or from
 a JSON file (the same field names; see DESIGN.md §10).
@@ -69,6 +69,14 @@ class GridSpec:
     technician_pool: Optional[int] = None
     chaos_presets: Optional[List[str]] = None
     fault_seed: int = 0
+    #: Optional penalty-function *axis*; ``None`` collapses to the scalar
+    #: ``penalty`` above so pre-tournament grids expand byte-identically.
+    penalties: Optional[List[str]] = None
+    #: Optional LG-coverage axis; ``None`` collapses to no LG (0.0).
+    lg_coverages: Optional[List[float]] = None
+    #: Optional per-strategy knob values, e.g.
+    #: ``{"switch-local": {"sc": 0.9}}``; attached to matching jobs.
+    strategy_knobs: Optional[Dict[str, Dict[str, float]]] = None
 
     def __post_init__(self):
         if self.repair_seeds is not None and len(self.repair_seeds) != len(
@@ -80,51 +88,73 @@ class GridSpec:
             )
 
     def expand(self) -> List[JobSpec]:
-        """Flatten to jobs in (preset, capacity, strategy, seed) order.
+        """Flatten to jobs in (preset, capacity, penalty, strategy,
+        lg-coverage, seed) order.
 
         Chaos grids substitute the chaos-preset axis for the strategy
         axis at the same nesting depth, so both kinds of sweep stay
-        byte-comparable across worker counts for the same reason.
+        byte-comparable across worker counts for the same reason.  The
+        penalty and LG-coverage axes collapse to singletons when unset,
+        so grids that never touch them expand to the exact job list they
+        produced before those axes existed.
         """
         specs: List[JobSpec] = []
         if self.chaos_presets is not None:
+            if self.lg_coverages or self.strategy_knobs:
+                raise ValueError(
+                    "lg_coverages/strategy_knobs do not apply to chaos grids"
+                )
             middle_axis = [("chaos", None, name) for name in self.chaos_presets]
         else:
             middle_axis = [
                 ("simulate", strategy, None) for strategy in self.strategies
             ]
+        penalties = self.penalties if self.penalties else [self.penalty]
+        coverages = self.lg_coverages if self.lg_coverages else [0.0]
+        knob_map = self.strategy_knobs or {}
         for preset in self.presets:
             for capacity in self.capacities:
-                for kind, strategy, chaos_name in middle_axis:
-                    for position, trace_seed in enumerate(self.trace_seeds):
-                        repair_seed = None
-                        if self.repair_seeds is not None:
-                            repair_seed = self.repair_seeds[position]
-                        specs.append(
-                            JobSpec(
-                                kind=kind,
-                                preset=preset,
-                                scale=self.scale,
-                                duration_days=self.duration_days,
-                                trace_seed=trace_seed,
-                                events_per_10k=self.events_per_10k,
-                                capacity=capacity,
-                                strategy=strategy or "corropt",
-                                penalty=self.penalty,
-                                repair_accuracy=self.repair_accuracy,
-                                repair_seed=repair_seed,
-                                track_capacity=self.track_capacity,
-                                service_days=self.service_days,
-                                full_repair_cycles=self.full_repair_cycles,
-                                technician_pool=self.technician_pool,
-                                chaos_preset=chaos_name,
-                                fault_seed=(
-                                    self.fault_seed
-                                    if chaos_name is not None
-                                    else 0
-                                ),
-                            )
+                for penalty in penalties:
+                    for kind, strategy, chaos_name in middle_axis:
+                        knobs = tuple(
+                            sorted(knob_map.get(strategy or "", {}).items())
                         )
+                        for coverage in coverages:
+                            for position, trace_seed in enumerate(
+                                self.trace_seeds
+                            ):
+                                repair_seed = None
+                                if self.repair_seeds is not None:
+                                    repair_seed = self.repair_seeds[position]
+                                specs.append(
+                                    JobSpec(
+                                        kind=kind,
+                                        preset=preset,
+                                        scale=self.scale,
+                                        duration_days=self.duration_days,
+                                        trace_seed=trace_seed,
+                                        events_per_10k=self.events_per_10k,
+                                        capacity=capacity,
+                                        strategy=strategy or "corropt",
+                                        penalty=penalty,
+                                        repair_accuracy=self.repair_accuracy,
+                                        repair_seed=repair_seed,
+                                        track_capacity=self.track_capacity,
+                                        service_days=self.service_days,
+                                        full_repair_cycles=(
+                                            self.full_repair_cycles
+                                        ),
+                                        technician_pool=self.technician_pool,
+                                        chaos_preset=chaos_name,
+                                        fault_seed=(
+                                            self.fault_seed
+                                            if chaos_name is not None
+                                            else 0
+                                        ),
+                                        knobs=knobs,
+                                        lg_coverage=coverage,
+                                    )
+                                )
         return specs
 
     def to_dict(self) -> Dict[str, Any]:

@@ -31,7 +31,23 @@ KNOWN_STRATEGIES = (
     "switch-local",
     "none",
     "drain",
+    "linkguardian",
+    "lg+corropt",
 )
+
+#: Per-strategy knobs a simulate-job ``knobs`` tuple may carry.  Kept as
+#: a literal so the spec module stays import-light; pinned against
+#: :data:`repro.simulation.strategies.STRATEGY_KNOBS` by the registry
+#: test.
+KNOWN_STRATEGY_KNOBS = {
+    "corropt": (),
+    "fast-checker-only": (),
+    "switch-local": ("sc",),
+    "none": (),
+    "drain": (),
+    "linkguardian": ("max_loss_rate",),
+    "lg+corropt": ("max_loss_rate",),
+}
 
 #: Penalty functions addressable by name (see :mod:`repro.core.penalty`).
 KNOWN_PENALTIES = ("linear", "tcp-throughput", "step")
@@ -93,8 +109,15 @@ class JobSpec:
             (independent of the repair seed so fault injection never
             perturbs repair outcomes).  Omitted from the canonical JSON
             when 0, for the same reason.
-        knobs: Calibration knobs as a sorted tuple of ``(name, value)``
-            pairs (kept a tuple so the spec stays hashable).
+        knobs: Per-job knobs as a sorted tuple of ``(name, value)`` pairs
+            (kept a tuple so the spec stays hashable).  Calibration jobs
+            use them freely (spin/sleep/crash); simulate jobs may only
+            carry the strategy's knobs from
+            :data:`KNOWN_STRATEGY_KNOBS` — anything else is rejected.
+        lg_coverage: Fraction of links flagged LinkGuardian-capable on
+            the job's topology copy (simulate jobs only).  Omitted from
+            the canonical JSON when 0.0, so every pre-LG spec keeps its
+            derived seed.
     """
 
     kind: str = "simulate"
@@ -117,6 +140,7 @@ class JobSpec:
     chaos_preset: Optional[str] = None
     fault_seed: int = 0
     knobs: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
+    lg_coverage: float = 0.0
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -168,6 +192,25 @@ class JobSpec:
             raise ValueError("repair accuracy outside [0, 1]")
         if not 0.0 < self.capacity <= 1.0:
             raise ValueError("capacity constraint outside (0, 1]")
+        if not 0.0 <= self.lg_coverage <= 1.0:
+            raise ValueError("lg_coverage outside [0, 1]")
+        if self.kind == "chaos":
+            if self.lg_coverage:
+                raise ValueError(
+                    "lg_coverage only applies to simulate jobs; chaos runs "
+                    "drive the hardened CorrOpt controller"
+                )
+            if self.knobs:
+                raise ValueError("chaos jobs take no strategy knobs")
+        else:
+            allowed = KNOWN_STRATEGY_KNOBS[self.strategy]
+            bad = sorted(set(name for name, _ in self.knobs) - set(allowed))
+            if bad:
+                raise ValueError(
+                    f"knobs {bad} not applicable to strategy "
+                    f"{self.strategy!r}; applicable knobs: "
+                    f"{sorted(allowed) or 'none'}"
+                )
 
     # ------------------------------------------------------------------ #
     # Canonical form and seeds
@@ -176,10 +219,10 @@ class JobSpec:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe canonical dict (tuples become lists).
 
-        Fields introduced after the format froze (the chaos axis) are
-        omitted at their defaults: every pre-chaos spec keeps the exact
+        Fields introduced after the format froze (the chaos and LG axes)
+        are omitted at their defaults: every earlier spec keeps the exact
         canonical JSON — and therefore the exact derived seed — it had
-        before the axis existed.
+        before those axes existed.
         """
         out: Dict[str, Any] = {}
         for f in fields(self):
@@ -187,6 +230,8 @@ class JobSpec:
             if f.name == "chaos_preset" and value is None:
                 continue
             if f.name == "fault_seed" and value == 0:
+                continue
+            if f.name == "lg_coverage" and value == 0.0:
                 continue
             if isinstance(value, tuple):
                 value = [list(v) if isinstance(v, tuple) else v for v in value]

@@ -25,12 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.core.constraints import CapacityConstraint
-from repro.core.penalty import (
-    PenaltyFn,
-    linear_penalty,
-    step_penalty,
-    tcp_throughput_penalty,
-)
+from repro.core.penalty import PENALTY_BY_NAME, PenaltyFn
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.parallel.spec import JobSpec
 from repro.simulation.chaos import ChaosSimulation, chaos_preset
@@ -46,11 +41,8 @@ PRESET_PROFILES: Dict[str, DCNProfile] = {
     "large": LARGE_DCN,
 }
 
-PENALTY_FNS: Dict[str, PenaltyFn] = {
-    "linear": linear_penalty,
-    "tcp-throughput": tcp_throughput_penalty,
-    "step": step_penalty,
-}
+#: Alias of the canonical registry (kept under the historical name).
+PENALTY_FNS: Dict[str, PenaltyFn] = dict(PENALTY_BY_NAME)
 
 
 def resolve_profile(spec: JobSpec) -> DCNProfile:
@@ -229,10 +221,19 @@ def execute_job(
             spec, base_topo, trace, cache_hit, start, attempt, obs
         )
     topo = base_topo.copy()
+    if spec.lg_coverage:
+        # LG capability is flagged on the per-job copy so the cached base
+        # topology stays pristine and shareable across coverage values.
+        topo.assign_lg_capable(spec.lg_coverage)
     constraint = CapacityConstraint(spec.capacity)
     penalty_fn = PENALTY_FNS[spec.penalty]
     strategy = build_strategy(
-        spec.strategy, topo, constraint, penalty_fn=penalty_fn, obs=obs
+        spec.strategy,
+        topo,
+        constraint,
+        penalty_fn=penalty_fn,
+        obs=obs,
+        knobs=spec.knobs_dict() or None,
     )
     sim = MitigationSimulation(
         topo,

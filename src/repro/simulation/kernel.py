@@ -463,13 +463,23 @@ class OracleSensing(SensingPipeline):
     # -- snapshots ------------------------------------------------------ #
 
     def current_penalty(self) -> float:
-        """§5.1's ``sum_l (1 - d_l) * I(f_l)`` over outstanding faults."""
+        """§5.1's ``sum_l (1 - d_l) * I(f_l)`` over outstanding faults.
+
+        The penalty integrates the *effective* corruption rate: for an
+        unprotected link that is its raw rate (identical to the original
+        binary up/down accounting), while a LinkGuardian-protected link
+        contributes the residual post-retransmission loss — usually below
+        the 1e-8 lossy floor, i.e. nothing.
+        """
         topo = self.kernel.topo
         total = 0.0
         for lid in self._rates:
             link = topo.link(lid)
-            if link.enabled and link.is_corrupting():
-                total += self.penalty_fn(link.max_corruption_rate())
+            if not link.enabled:
+                continue
+            rate = link.effective_corruption_rate()
+            if rate >= 1e-8:
+                total += self.penalty_fn(rate)
         return total
 
     def tor_fractions(self) -> Optional[Tuple[float, float]]:
@@ -480,9 +490,21 @@ class OracleSensing(SensingPipeline):
             self._counter.average_tor_fraction(),
         )
 
+    def after_snapshot(self, time_s: float, worst: float) -> None:
+        # LG-aware effective capacity: only recorded when protections can
+        # exist, so non-LG runs keep their exact metric footprint.
+        counter = self._counter
+        if counter is not None and self.kernel.topo.lg_protected_links():
+            self.kernel.metrics.effective_capacity.record(
+                time_s, counter.effective_average_tor_fraction()
+            )
+
     # -- run end -------------------------------------------------------- #
 
     def finish(self) -> None:
+        self.kernel.metrics.lg_protections = getattr(
+            self.strategy, "protections", 0
+        )
         obs = self.kernel.obs
         if obs.enabled and self._counter is not None:
             obs.scrape_path_counter(self._counter, role="engine")

@@ -111,6 +111,12 @@ class SimulationMetrics:
         repairs_completed: Links brought back after repair.
         failed_repairs: Re-disables after unsuccessful repairs
             (full-cycle mode only).
+        effective_capacity: Mean *effective* ToR capacity fraction over
+            time — like ``average_tor_fraction`` but weighting
+            LinkGuardian-protected links by their reduced capacity.
+            Stays flat at 1.0 (and is not recorded) for non-LG runs, so
+            fingerprints of existing strategies are unaffected.
+        lg_protections: Links placed under LinkGuardian protection.
     """
 
     penalty: StepSeries = field(default_factory=lambda: StepSeries(0.0))
@@ -126,6 +132,10 @@ class SimulationMetrics:
     disabled_on_activation: int = 0
     repairs_completed: int = 0
     failed_repairs: int = 0
+    effective_capacity: StepSeries = field(
+        default_factory=lambda: StepSeries(1.0)
+    )
+    lg_protections: int = 0
 
     def total_penalty_integral(self, duration_s: float) -> float:
         """∫ penalty dt over the whole run — the Figure 17 numerator."""

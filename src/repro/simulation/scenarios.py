@@ -9,12 +9,14 @@ and CI runs stay fast; benchmarks can run closer to paper size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.core.constraints import CapacityConstraint
+from repro.core.penalty import penalty_by_name
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.simulation.engine import MitigationSimulation, SimulationResult
 from repro.simulation.strategies import (
+    STRATEGY_NAMES,
     MitigationStrategy,
     build_strategy,
 )
@@ -135,10 +137,22 @@ class StrategyFactory:
     name: str
     capacity: float
     obs: Recorder = field(default=NULL_RECORDER, compare=False)
+    #: Penalty-function name fed to the strategies that run the global
+    #: optimizer.  Previously ``build_strategy``'s default was always
+    #: used; the name (not the callable) is stored to stay picklable.
+    penalty: str = "linear"
+    #: Per-strategy knobs as a sorted (name, value) tuple — hashable and
+    #: picklable, unlike a dict on a frozen dataclass.
+    knobs: Tuple[Tuple[str, float], ...] = ()
 
     def __call__(self, topo: Topology) -> MitigationStrategy:
         return build_strategy(
-            self.name, topo, CapacityConstraint(self.capacity), obs=self.obs
+            self.name,
+            topo,
+            CapacityConstraint(self.capacity),
+            penalty_fn=penalty_by_name(self.penalty),
+            obs=self.obs,
+            knobs=dict(self.knobs) or None,
         )
 
 
@@ -160,16 +174,32 @@ def run_scenario(
     seed: int = 0,
     track_capacity: bool = True,
     obs: Recorder = NULL_RECORDER,
+    lg_coverage: float = 0.0,
+    penalty: str = "linear",
+    knobs: Tuple[Tuple[str, float], ...] = (),
 ) -> SimulationResult:
-    """Run one strategy over a scenario on a fresh topology copy."""
-    factories = standard_strategies(scenario.capacity, obs=obs)
-    if strategy_name not in factories:
+    """Run one strategy over a scenario on a fresh topology copy.
+
+    Any name from :data:`~repro.simulation.strategies.STRATEGY_NAMES` is
+    accepted.  ``lg_coverage`` flags that fraction of links LG-capable on
+    the run's private topology copy (the scenario's base stays pristine).
+    """
+    if strategy_name not in STRATEGY_NAMES:
         raise ValueError(
             f"unknown strategy {strategy_name!r}; "
-            f"choose from {sorted(factories)}"
+            f"choose from {list(STRATEGY_NAMES)}"
         )
+    factory = StrategyFactory(
+        strategy_name,
+        scenario.capacity,
+        obs=obs,
+        penalty=penalty,
+        knobs=tuple(sorted(knobs)),
+    )
     topo = scenario.topo_factory()
-    strategy = factories[strategy_name](topo)
+    if lg_coverage:
+        topo.assign_lg_capable(lg_coverage)
+    strategy = factory(topo)
     sim = MitigationSimulation(
         topo,
         scenario.trace,

@@ -94,8 +94,24 @@ class CampaignResult:
         return sum(t.num_attempts for t in self.tickets) / len(self.tickets)
 
     def mean_repair_days(self, service_days: float = 2.0) -> float:
-        """Average days-to-fix at ``service_days`` per attempt (§5.2)."""
-        return self.mean_attempts() * service_days
+        """Average days-to-fix under §7.1's two-point repair model.
+
+        Mirrors :func:`repair_duration_days`: a ticket fixed on the first
+        visit takes ``service_days``; anything slower takes
+        ``2 * service_days`` total ("the rest in four days"), regardless
+        of how many extra visits Figure 12's escalation needed.  The
+        previous ``mean_attempts() * service_days`` overcounted
+        multi-attempt tickets relative to that model.
+        """
+        if not self.tickets:
+            return 0.0
+        total = sum(
+            service_days
+            if ticket.first_attempt_succeeded()
+            else 2.0 * service_days
+            for ticket in self.tickets
+        )
+        return total / len(self.tickets)
 
 
 def run_repair_campaign(

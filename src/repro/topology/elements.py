@@ -102,6 +102,18 @@ class Link:
             corruption is stable over time, so a scalar per direction is the
             natural representation; time variation comes from the fault and
             telemetry layers.
+        lg_capable: Whether the port pair supports LinkGuardian-style
+            link-local retransmission (SIGCOMM'23).  Capability is a
+            hardware property of the port, set per scenario via
+            :meth:`~repro.topology.graph.Topology.assign_lg_capable`.
+        lg_protected: Whether link-local protection is currently active.
+            A protected link stays ENABLED — it keeps carrying traffic —
+            but corrupts at ``lg_effective_loss`` instead of its raw rate
+            and delivers only ``lg_capacity_fraction`` of its capacity
+            (retransmissions consume bandwidth).
+        lg_effective_loss: Post-retransmission loss rate while protected.
+        lg_capacity_fraction: Fraction of nominal capacity delivered
+            while protected (1.0 when unprotected).
     """
 
     lower: str
@@ -112,6 +124,10 @@ class Link:
     corruption_rate: Dict[Direction, float] = field(
         default_factory=lambda: {Direction.UP: 0.0, Direction.DOWN: 0.0}
     )
+    lg_capable: bool = False
+    lg_protected: bool = False
+    lg_effective_loss: float = 0.0
+    lg_capacity_fraction: float = 1.0
 
     @property
     def link_id(self) -> LinkId:
@@ -130,6 +146,29 @@ class Link:
         is all-or-nothing (§3 footnote 3).
         """
         return max(self.corruption_rate.values())
+
+    def effective_corruption_rate(self) -> float:
+        """Corruption rate as experienced by traffic.
+
+        Equal to :meth:`max_corruption_rate` normally; while LinkGuardian
+        protection is active the link delivers the (far lower) residual
+        loss rate of the retransmission layer instead.
+        """
+        if self.lg_protected:
+            return self.lg_effective_loss
+        return self.max_corruption_rate()
+
+    def effective_capacity_fraction(self) -> float:
+        """Fraction of nominal capacity this link contributes to paths.
+
+        0.0 when not enabled; ``lg_capacity_fraction`` while protected
+        (retransmissions steal bandwidth); 1.0 otherwise.
+        """
+        if not self.enabled:
+            return 0.0
+        if self.lg_protected:
+            return self.lg_capacity_fraction
+        return 1.0
 
     def is_corrupting(self, threshold: float = 1e-8) -> bool:
         """Whether either direction corrupts above ``threshold``.

@@ -13,6 +13,7 @@ structure, so the optimizer can evaluate hypothetical disable-sets cheaply.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.topology.elements import (
@@ -58,6 +59,12 @@ class Topology:
         # recounting the topology on every query.
         self._admin_listeners: List[Callable[[LinkId], None]] = []
         self._structure_listeners: List[Callable[[], None]] = []
+        # LinkGuardian bookkeeping.  ``_lg_version`` bumps whenever any
+        # link's protection status or capability changes, so consumers
+        # (PathCounter's effective-capacity DP) can memoize against it the
+        # same way they memoize against admin-state versions.
+        self._lg_version = 0
+        self._lg_protected: Set[LinkId] = set()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -281,10 +288,105 @@ class Topology:
         self._links[link_id].corruption_rate[direction] = rate
 
     def clear_corruption(self, link_id: LinkId) -> None:
-        """Mark both directions of a link healthy (post-repair)."""
+        """Mark both directions of a link healthy (post-repair).
+
+        Also drops any LinkGuardian protection: a healthy link has nothing
+        to mask, so the invariant *protected ⟹ corrupting* holds.
+        """
         link = self._links[link_id]
         link.corruption_rate[Direction.UP] = 0.0
         link.corruption_rate[Direction.DOWN] = 0.0
+        if link.lg_protected:
+            self.unprotect_link(link_id)
+
+    # ------------------------------------------------------------------ #
+    # LinkGuardian protection (SIGCOMM'23 rival strategy)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def lg_version(self) -> int:
+        """Monotone counter bumped on any LG capability/protection change."""
+        return self._lg_version
+
+    def assign_lg_capable(self, coverage: float, salt: int = 0) -> int:
+        """Mark a deterministic ``coverage`` fraction of links LG-capable.
+
+        Capability is decided per link from a hash of its endpoint names
+        (plus ``salt``), so the flagged set is independent of iteration
+        order, stable across topology copies, and monotone in ``coverage``
+        (raising coverage only adds links).  Re-assigning resets all
+        capability flags first, so the call is idempotent.
+
+        Returns:
+            The number of links flagged capable.
+        """
+        if not 0.0 <= coverage <= 1.0:
+            raise ValueError(f"lg coverage {coverage} outside [0, 1]")
+        count = 0
+        for link_id, link in self._links.items():
+            token = f"lg:{salt}:{link_id[0]}|{link_id[1]}".encode("utf-8")
+            digest = hashlib.sha256(token).digest()
+            bucket = int.from_bytes(digest[:8], "big") / 2.0**64
+            link.lg_capable = bucket < coverage
+            if link.lg_capable:
+                count += 1
+            elif link.lg_protected:
+                self.unprotect_link(link_id)
+        self._lg_version += 1
+        return count
+
+    def set_lg_capable(self, link_id: LinkId, capable: bool) -> None:
+        """Set one link's LG capability explicitly (tests, small setups)."""
+        link = self._links[link_id]
+        if link.lg_protected and not capable:
+            self.unprotect_link(link_id)
+        link.lg_capable = capable
+        self._lg_version += 1
+
+    def protect_link(
+        self, link_id: LinkId, effective_loss: float, capacity_fraction: float
+    ) -> None:
+        """Activate LinkGuardian protection on an LG-capable, enabled link.
+
+        The link stays ENABLED — no admin notification fires and the
+        binary path-count DP is untouched — but its effective loss rate
+        and effective capacity change.
+        """
+        link = self._links[link_id]
+        if not link.lg_capable:
+            raise ValueError(f"link {link_id} is not LG-capable")
+        if not link.enabled:
+            raise ValueError(f"link {link_id} is not enabled")
+        if not 0.0 <= effective_loss <= 1.0:
+            raise ValueError(f"effective loss {effective_loss} outside [0, 1]")
+        if not 0.0 < capacity_fraction <= 1.0:
+            raise ValueError(
+                f"capacity fraction {capacity_fraction} outside (0, 1]"
+            )
+        link.lg_protected = True
+        link.lg_effective_loss = effective_loss
+        link.lg_capacity_fraction = capacity_fraction
+        self._lg_protected.add(link_id)
+        self._lg_version += 1
+
+    def unprotect_link(self, link_id: LinkId) -> None:
+        """Deactivate LinkGuardian protection (no-op if not protected)."""
+        link = self._links[link_id]
+        if not link.lg_protected:
+            return
+        link.lg_protected = False
+        link.lg_effective_loss = 0.0
+        link.lg_capacity_fraction = 1.0
+        self._lg_protected.discard(link_id)
+        self._lg_version += 1
+
+    def lg_protected_links(self) -> Set[LinkId]:
+        """Ids of links currently under LinkGuardian protection."""
+        return set(self._lg_protected)
+
+    def lg_capable_count(self) -> int:
+        """Number of LG-capable links."""
+        return sum(1 for link in self._links.values() if link.lg_capable)
 
     # ------------------------------------------------------------------ #
     # Traversal
@@ -408,6 +510,12 @@ class Topology:
             new = clone.link(link.link_id)
             new.state = link.state
             new.corruption_rate = dict(link.corruption_rate)
+            new.lg_capable = link.lg_capable
+            new.lg_protected = link.lg_protected
+            new.lg_effective_loss = link.lg_effective_loss
+            new.lg_capacity_fraction = link.lg_capacity_fraction
+            if link.lg_protected:
+                clone._lg_protected.add(link.link_id)
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

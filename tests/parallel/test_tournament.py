@@ -1,0 +1,146 @@
+"""Tournament campaigns: grid shape, leaderboard rows, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.schema import validate_sweep_jsonl
+from repro.parallel import (
+    GridSpec,
+    leaderboard_lines,
+    leaderboard_rows,
+    run_tournament,
+    tournament_grid,
+    tournament_rows,
+    write_tournament_jsonl,
+)
+from repro.parallel.spec import JobSpec
+
+
+def _small_grid(**overrides):
+    """A fast tournament: one preset, tiny scale, short horizon."""
+    defaults = dict(
+        presets=["medium"],
+        capacities=[0.75, 0.9],
+        penalties=["linear"],
+        lg_coverages=[0.9],
+        trace_seeds=[0],
+        scale=0.12,
+        duration_days=10.0,
+        events_per_10k=40.0,
+    )
+    defaults.update(overrides)
+    return tournament_grid(**defaults)
+
+
+class TestGridShape:
+    def test_default_grid_covers_every_strategy(self):
+        grid = tournament_grid()
+        specs = grid.expand()
+        assert {spec.strategy for spec in specs} == {
+            "corropt", "fast-checker-only", "switch-local", "none",
+            "drain", "linkguardian", "lg+corropt",
+        }
+        assert {spec.penalty for spec in specs} == {
+            "linear", "tcp-throughput"
+        }
+        assert {spec.lg_coverage for spec in specs} == {0.9}
+        assert {spec.capacity for spec in specs} == {0.75, 0.9}
+
+    def test_lg_axes_rejected_on_chaos_grids(self):
+        grid = GridSpec(chaos_presets=["mild"], lg_coverages=[0.5])
+        with pytest.raises(ValueError, match="chaos"):
+            grid.expand()
+
+    def test_chaos_spec_rejects_lg_coverage(self):
+        spec = JobSpec(kind="chaos", chaos_preset="mild", lg_coverage=0.5)
+        with pytest.raises(ValueError, match="lg_coverage"):
+            spec.validate()
+
+    def test_spec_rejects_inapplicable_knob(self):
+        spec = JobSpec(strategy="corropt", knobs=(("max_loss_rate", 1e-3),))
+        with pytest.raises(ValueError, match="not applicable"):
+            spec.validate()
+
+    def test_spec_accepts_matching_knob(self):
+        spec = JobSpec(
+            strategy="linkguardian", knobs=(("max_loss_rate", 1e-3),)
+        )
+        spec.validate()
+
+    def test_lg_coverage_omitted_from_canonical_json_at_default(self):
+        """Pre-LG specs must keep their derived seeds."""
+        assert "lg_coverage" not in JobSpec().to_dict()
+        assert "lg_coverage" in JobSpec(lg_coverage=0.9).to_dict()
+
+
+class TestTournamentRun:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_tournament(_small_grid(), jobs=1)
+
+    def test_all_jobs_succeed(self, sweep):
+        assert not sweep.failures()
+        assert len(sweep.records) == 14  # 7 strategies x 2 capacities
+
+    def test_leaderboard_groups_and_ranks(self, sweep):
+        rows = leaderboard_rows(sweep)
+        assert len(rows) == 2  # one per capacity
+        for row in rows:
+            assert row["type"] == "leaderboard"
+            entries = row["entries"]
+            assert len(entries) == 7
+            assert [e["rank"] for e in entries] == list(range(1, 8))
+            means = [e["mean_penalty_integral"] for e in entries]
+            assert means == sorted(means)
+
+    def test_lg_block_present_in_result_rows(self, sweep):
+        rows = tournament_rows(sweep, timing=False)
+        result_rows = [r for r in rows if r.get("type") == "result"]
+        assert all("lg" in row for row in result_rows)
+        protections = [row["lg"]["protections"] for row in result_rows]
+        assert any(p > 0 for p in protections)
+
+    def test_lg_corropt_wins_tight_capacity_group(self, sweep):
+        """The headline acceptance: masking beats disabling once CorrOpt
+        runs out of capacity headroom."""
+        by_capacity = {
+            row["capacity"]: {
+                e["strategy"]: e["mean_penalty_integral"]
+                for e in row["entries"]
+            }
+            for row in leaderboard_rows(sweep)
+        }
+        tight = by_capacity[0.9]
+        assert tight["lg+corropt"] < tight["corropt"]
+
+    def test_human_leaderboard_mentions_every_strategy(self, sweep):
+        text = "\n".join(leaderboard_lines(sweep))
+        for name in ("corropt", "lg+corropt", "linkguardian", "drain"):
+            assert name in text
+
+
+class TestTournamentDeterminism:
+    def test_byte_identical_across_worker_counts(self, tmp_path):
+        grid = _small_grid()
+        serial = write_tournament_jsonl(
+            tmp_path / "serial.jsonl",
+            run_tournament(grid, jobs=1),
+            timing=False,
+        )
+        pooled = write_tournament_jsonl(
+            tmp_path / "pooled.jsonl",
+            run_tournament(grid, jobs=2),
+            timing=False,
+        )
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_output_passes_sweep_schema(self, tmp_path):
+        path = write_tournament_jsonl(
+            tmp_path / "tour.jsonl",
+            run_tournament(_small_grid(), jobs=1),
+            timing=False,
+        )
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert validate_sweep_jsonl(lines) == []
+        assert any('"type":"leaderboard"' in line for line in lines)

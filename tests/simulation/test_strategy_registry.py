@@ -1,0 +1,71 @@
+"""Registry pinning: one strategy lineup, declared once per layer.
+
+The strategy roster is duplicated as literals in import-light layers (the
+CLI, the parallel spec, the sweep schema) so ``--help`` and validation
+never import the simulation stack.  These tests pin every copy to the
+canonical :data:`repro.simulation.strategies.STRATEGY_NAMES`, so adding a
+strategy without updating every surface fails loudly here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.core.constraints import CapacityConstraint
+from repro.core.penalty import PENALTY_NAMES
+from repro.obs.schema import SWEEP_STRATEGY_NAMES
+from repro.parallel.spec import (
+    KNOWN_PENALTIES,
+    KNOWN_STRATEGIES,
+    KNOWN_STRATEGY_KNOBS,
+)
+from repro.simulation.strategies import (
+    STRATEGY_KNOBS,
+    STRATEGY_NAMES,
+    build_strategy,
+)
+from repro.topology import build_clos
+
+
+def test_strategy_names_pinned_across_layers():
+    assert STRATEGY_NAMES == KNOWN_STRATEGIES
+    assert STRATEGY_NAMES == cli.STRATEGY_CHOICES
+    assert STRATEGY_NAMES == SWEEP_STRATEGY_NAMES
+
+
+def test_strategy_knobs_pinned_across_layers():
+    assert set(STRATEGY_KNOBS) == set(STRATEGY_NAMES)
+    assert set(KNOWN_STRATEGY_KNOBS) == set(STRATEGY_NAMES)
+    for name in STRATEGY_NAMES:
+        assert set(KNOWN_STRATEGY_KNOBS[name]) == set(STRATEGY_KNOBS[name]), (
+            f"knob registries disagree for {name!r}"
+        )
+
+
+def test_penalty_names_pinned_across_layers():
+    assert PENALTY_NAMES == KNOWN_PENALTIES
+    assert PENALTY_NAMES == cli.PENALTY_CHOICES
+
+
+def test_cli_simulate_accepts_every_strategy():
+    parser = cli.build_parser()
+    for name in STRATEGY_NAMES:
+        args = parser.parse_args(["simulate", "--strategy", name])
+        assert args.strategy == name
+
+
+@pytest.mark.parametrize("name", STRATEGY_NAMES)
+def test_build_strategy_constructs_every_name(name):
+    topo = build_clos(num_pods=2, tors_per_pod=2, aggs_per_pod=2, num_spines=4)
+    strategy = build_strategy(name, topo, CapacityConstraint(0.75))
+    assert strategy.name == name
+    # The uniform interface every kernel entry point relies on.
+    assert callable(strategy.on_onset)
+    assert callable(strategy.on_activation)
+
+
+def test_build_strategy_rejects_unknown_name():
+    topo = build_clos(num_pods=2, tors_per_pod=2, aggs_per_pod=2, num_spines=4)
+    with pytest.raises(ValueError, match="unknown strategy"):
+        build_strategy("bogus", topo, CapacityConstraint(0.75))
