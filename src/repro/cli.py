@@ -12,6 +12,10 @@ Subcommands mirror the system's operational surfaces:
   penalty functions × LG coverages, with a canonical leaderboard;
 - ``chaos``     — closed-loop run with telemetry faults injected into the
   monitoring path (sanitizer + fail-safe controller in the loop);
+- ``serve``     — the chaos loop as a long-running service: streaming
+  ingestion behind bounded queues, sharded per-segment controllers, and
+  deterministic checkpoint/restore (kill at any boundary, resume with
+  ``--resume-from``, byte-identical reports);
 - ``recommend`` — run Algorithm 1 on one link's observed symptoms;
 - ``gadget``    — build the Appendix-A reduction for a random 3-SAT
   instance and solve it with the optimizer;
@@ -526,6 +530,141 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result.invariants_ok() else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.obs import NULL_RECORDER
+    from repro.service import ControllerService, ServiceConfig
+
+    checkpoint_every_s = (
+        args.checkpoint_every * 3600.0 if args.checkpoint_every else None
+    )
+
+    if args.resume_from:
+        header, service = ControllerService.restore(args.resume_from)
+        if checkpoint_every_s is None:
+            checkpoint_every_s = header["config"].get("checkpoint_every_s")
+        print(
+            f"resumed from {args.resume_from} "
+            f"(boundary {header['boundary_index']}, "
+            f"sim t={header['sim_time_s'] / 3600.0:.1f}h)"
+        )
+    else:
+        config = ServiceConfig(
+            days=args.days,
+            scale=args.scale,
+            capacity=args.capacity,
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+            chaos_preset=args.chaos_preset,
+            events_per_10k_links_per_day=args.events,
+            poll_interval_s=args.poll_interval,
+            repair_accuracy=args.repair_accuracy,
+            queue_capacity=args.queue_capacity,
+            queue_policy=args.queue_policy,
+            batch_size=args.batch_size,
+            drain_budget=args.drain_budget,
+            audit_maxlen=args.audit_maxlen,
+        )
+        obs = NULL_RECORDER
+        if _wants_obs(args):
+            obs = _build_obs(
+                "serve",
+                args,
+                seeds={
+                    "trace": args.seed,
+                    "repair": args.seed,
+                    "faults": args.fault_seed,
+                },
+            )
+        service = ControllerService(config, obs=obs)
+
+    if checkpoint_every_s is not None and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir")
+        return 2
+
+    # Graceful drain: SIGTERM (and Ctrl-C) finish the current slice, flush
+    # one final checkpoint, and exit resumable.
+    stop = {"requested": False}
+
+    def _request_stop(_signum, _frame):
+        stop["requested"] = True
+        print("stop requested; draining to the next checkpoint boundary...")
+
+    previous_handlers = {
+        sig: signal.signal(sig, _request_stop)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        status = service.run(
+            checkpoint_every_s=checkpoint_every_s,
+            checkpoint_dir=args.checkpoint_dir,
+            max_boundaries=args.stop_after_checkpoint,
+            should_stop=lambda: stop["requested"],
+        )
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
+
+    cfg = service.config
+    print(
+        f"service: medium DCN (scale {cfg.scale}), c={cfg.capacity:.0%}, "
+        f"{cfg.days} days, chaos={cfg.chaos_preset or 'clean'}, "
+        f"{len(service.pipeline.shards)} shard(s)"
+    )
+    if status.checkpoints:
+        print(
+            f"checkpoints: {len(status.checkpoints)} written, "
+            f"last {status.checkpoints[-1]}"
+        )
+    if not status.completed:
+        print(
+            f"stopped ({status.stop_reason}) at boundary "
+            f"{status.boundary_index}; resume with "
+            f"--resume-from {status.checkpoints[-1]}"
+        )
+        return 0
+
+    result = status.result
+    chaos = result.chaos
+    queue = service.pipeline.queue
+    qs = queue.stats
+    print(
+        f"ingest: {qs.offered} pushes "
+        f"({qs.accepted} accepted, {qs.deferred} deferred, "
+        f"{qs.dropped} dropped), peak depth {qs.high_watermark}, "
+        f"accounting {'OK' if queue.accounting_ok() else 'BROKEN'}"
+    )
+    print(
+        f"chaos: {chaos.polls} polls, {chaos.missed_polls} misses, "
+        f"{chaos.degraded_samples} degraded samples, "
+        f"{chaos.decisions_in_degraded_mode} degraded decisions"
+    )
+    print(
+        f"mitigation: {result.metrics.onsets} onsets, "
+        f"{result.metrics.disabled_on_onset} disabled on report, "
+        f"{result.metrics.disabled_on_activation} on activation, "
+        f"{result.metrics.repairs_completed} repairs"
+    )
+    print(f"penalty integral: {result.penalty_integral:.3e}")
+    print(
+        "invariants: "
+        f"quarantine violations {chaos.quarantine_violations}, "
+        f"capacity violations {chaos.capacity_violations} "
+        f"-> {'OK' if result.invariants_ok() else 'VIOLATED'}"
+    )
+    if args.out:
+        service.write_report(args.out, result)
+        print(f"service report: {args.out}")
+    obs = service.kernel.obs
+    if obs.enabled and _wants_obs(args):
+        _write_obs_artifacts(obs, args)
+    if args.audit_out:
+        service.pipeline.audit.write_jsonl(args.audit_out)
+        print(f"audit log: {args.audit_out}")
+    return 0 if result.invariants_ok() else 1
+
+
 def _cmd_recommend(args: argparse.Namespace) -> int:
     from repro.core import LinkObservation, deployed_engine, full_engine
     from repro.optics import TECHNOLOGIES
@@ -692,18 +831,21 @@ def _print_sweep_summary(lines: List[str]) -> None:
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import (
         validate_audit_jsonl,
+        validate_checkpoint_file,
         validate_chrome_trace,
         validate_events_jsonl,
         validate_prometheus_text,
+        validate_service_report_jsonl,
         validate_sweep_jsonl,
     )
 
     if not any(
-        (args.audit, args.metrics, args.events, args.trace, args.sweep)
+        (args.audit, args.metrics, args.events, args.trace, args.sweep,
+         args.checkpoint, args.service_report)
     ):
         print(
-            "nothing to inspect: pass "
-            "--audit/--metrics/--events/--trace/--sweep"
+            "nothing to inspect: pass --audit/--metrics/--events/--trace/"
+            "--sweep/--checkpoint/--service-report"
         )
         return 2
 
@@ -739,6 +881,38 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             problems += [f"{args.audit}: {p}" for p in
                          validate_audit_jsonl(lines)]
         _print_audit(lines, args.limit)
+    if args.checkpoint:
+        for path in args.checkpoint:
+            found = validate_checkpoint_file(path)
+            if args.validate:
+                problems += [f"{path}: {p}" for p in found]
+            if not found:
+                with open(path, "rb") as handle:
+                    header = json.loads(handle.readline())
+                print(
+                    f"checkpoint {path}: boundary "
+                    f"{header['boundary_index']}, sim "
+                    f"t={header['sim_time_s'] / 3600.0:.1f}h, "
+                    f"{header['payload_bytes']} payload bytes, digest OK"
+                )
+            else:
+                print(f"checkpoint {path}: INVALID ({len(found)} problem(s))")
+    if args.service_report:
+        lines = _read_lines(args.service_report)
+        if args.validate:
+            problems += [f"{args.service_report}: {p}" for p in
+                         validate_service_report_jsonl(lines)]
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "result":
+                print(
+                    f"service report {args.service_report}: penalty "
+                    f"{record.get('penalty_integral', 0.0):.3e}, "
+                    f"fingerprint {record.get('fingerprint', '?')[:18]}..., "
+                    f"invariants "
+                    f"{'OK' if record.get('invariants_ok') else 'VIOLATED'}"
+                )
+                break
 
     if args.validate:
         if problems:
@@ -968,6 +1142,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(func=_cmd_chaos)
 
+    serve = sub.add_parser(
+        "serve",
+        help="long-running controller service with checkpoint/restore",
+    )
+    serve.add_argument("--days", type=float, default=2.0,
+                       help="simulated horizon in days")
+    serve.add_argument("--scale", type=float, default=0.12)
+    serve.add_argument("--capacity", type=float, default=0.75)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--fault-seed", type=int, default=0)
+    serve.add_argument(
+        "--chaos-preset", default=None,
+        choices=["none", "mild", "harsh", "reboot-storm", "flaky-collector"],
+        help="inject this telemetry-fault mix into the live stream",
+    )
+    serve.add_argument("--events", type=float, default=400.0,
+                       help="fault arrival intensity (events/10K links/day)")
+    serve.add_argument("--poll-interval", type=float, default=900.0,
+                       help="telemetry poll spacing in simulated seconds")
+    serve.add_argument("--repair-accuracy", type=float, default=0.8)
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64,
+        help="bounded ingest queue: batches held before backpressure",
+    )
+    serve.add_argument(
+        "--queue-policy", choices=["defer", "drop"], default="defer",
+        help="what a full queue does with new pushes",
+    )
+    serve.add_argument("--batch-size", type=int, default=64,
+                       help="directions per telemetry push batch")
+    serve.add_argument(
+        "--drain-budget", type=int, default=None,
+        help="batches consumed per poll tick (default: all pending)",
+    )
+    serve.add_argument("--audit-maxlen", type=int, default=1024,
+                       help="audit-log ring bound (evictions are counted)")
+    serve.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="HOURS",
+        help="checkpoint boundary spacing in simulated hours",
+    )
+    serve.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="directory for checkpoint files")
+    serve.add_argument(
+        "--resume-from", metavar="FILE.ckpt",
+        help="restore a checkpoint and continue its run "
+             "(service flags are taken from the checkpoint)",
+    )
+    serve.add_argument(
+        "--stop-after-checkpoint", type=int, default=None, metavar="N",
+        help="exit (resumable) once N checkpoint boundaries completed — "
+             "a deterministic kill for tests and CI",
+    )
+    serve.add_argument("--out", metavar="FILE.jsonl",
+                       help="write the canonical service report here")
+    _add_obs_args(serve)
+    serve.add_argument(
+        "--audit-out", metavar="FILE",
+        help="write the controller audit log as JSONL here",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     rec = sub.add_parser("recommend", help="Algorithm 1 on one link")
     rec.add_argument("--rate", type=float, default=1e-3)
     rec.add_argument("--rx1", type=float, required=True)
@@ -996,6 +1231,14 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--events", metavar="FILE", help="events JSONL stream")
     obs.add_argument("--trace", metavar="FILE", help="Chrome trace JSON")
     obs.add_argument("--sweep", metavar="FILE", help="sweep results JSONL")
+    obs.add_argument(
+        "--checkpoint", metavar="FILE", action="append",
+        help="service checkpoint file (repeatable); header + digest check",
+    )
+    obs.add_argument(
+        "--service-report", metavar="FILE",
+        help="repro serve report JSONL",
+    )
     obs.add_argument(
         "--validate", action="store_true",
         help="check every given file against its schema (exit 1 on problems)",

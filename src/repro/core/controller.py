@@ -33,7 +33,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional
 
 from repro.core.constraints import CapacityConstraint
 from repro.core.fast_checker import FastChecker, FastCheckResult
@@ -142,6 +142,10 @@ class CorrOptController:
             optimizer; while open, activations use fast-checker-only mode.
         optimizer_attempts: Attempts per optimizer run (retry w/ backoff).
         max_decisions: Bound on the per-decision ring buffer.
+        link_scope: Optional set of links this controller owns.  When
+            set, optimizer candidates are restricted to in-scope links —
+            the sharded service gives each segment controller its own
+            scope so shards never plan over each other's links.
         audit: Structured audit log (created on demand when omitted).
         obs: Observability recorder, shared with the fast checker, the
             optimizer, and the path counter; decisions become spans,
@@ -165,6 +169,7 @@ class CorrOptController:
         optimizer_breaker: Optional[CircuitBreaker] = None,
         optimizer_attempts: int = 1,
         max_decisions: Optional[int] = None,
+        link_scope: Optional[FrozenSet[LinkId]] = None,
         audit: Optional[AuditLog] = None,
         obs: Recorder = NULL_RECORDER,
     ):
@@ -191,6 +196,7 @@ class CorrOptController:
         self.debouncer = debouncer
         self.optimizer_breaker = optimizer_breaker
         self.optimizer_attempts = optimizer_attempts
+        self.link_scope = link_scope
         self.audit = audit or AuditLog()
         self.log = ControllerLog(max_decisions=max_decisions)
         self._last_breaker_state: Optional[BreakerState] = None
@@ -334,11 +340,14 @@ class CorrOptController:
     # ------------------------------------------------------------------ #
 
     def _optimizer_candidates(self) -> List[LinkId]:
-        """Enabled corrupting links whose telemetry is trusted."""
+        """Enabled corrupting links whose telemetry is trusted (and, for
+        a sharded controller, inside this controller's scope)."""
+        scope = self.link_scope
         return [
             lid
             for lid in self.topo.corrupting_links()
             if not self._quarantined(lid)
+            and (scope is None or lid in scope)
         ]
 
     def _fallback_sweep(self, candidates: List[LinkId]) -> OptimizerResult:

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple, Type
 
 from repro._version import __version__
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.topology.elements import LinkId
 
 #: Bumped when the audit JSONL layout changes incompatibly.
@@ -58,6 +59,9 @@ class OnsetDebouncer:
         window_s: Maximum spacing between consecutive reports in a run.
         high: Rate at or above which a report counts toward confirmation.
         low_factor: Clear threshold as a fraction of ``high``.
+        obs: Observability recorder; confirmed/cleared transitions become
+            labeled counters and a confirmed-links gauge (no-op default).
+        name: Label distinguishing debouncers (e.g. per service shard).
     """
 
     def __init__(
@@ -66,6 +70,8 @@ class OnsetDebouncer:
         window_s: float = 3600.0,
         high: float = 1e-8,
         low_factor: float = 0.5,
+        obs: Recorder = NULL_RECORDER,
+        name: str = "controller",
     ):
         if confirm < 1:
             raise ValueError("confirm must be >= 1")
@@ -75,9 +81,25 @@ class OnsetDebouncer:
         self.window_s = window_s
         self.high = high
         self.low = high * low_factor
+        self.obs = obs
+        self.name = name
         self._streak: Dict[LinkId, int] = {}
         self._last_time: Dict[LinkId, float] = {}
         self._confirmed: Dict[LinkId, bool] = {}
+
+    def _note_transition(self, to: str) -> None:
+        obs = self.obs
+        if obs.enabled:
+            # Label key is "debouncer", not "name": the recorder API's
+            # first positional is the metric name.
+            obs.count(
+                "debounce_transitions_total", debouncer=self.name, to=to
+            )
+            obs.gauge(
+                "debounce_confirmed_links",
+                sum(1 for v in self._confirmed.values() if v),
+                debouncer=self.name,
+            )
 
     def update(self, link_id: LinkId, rate: float, time_s: float) -> bool:
         """Feed one report; return True exactly when the onset confirms."""
@@ -99,6 +121,7 @@ class OnsetDebouncer:
         if streak >= self.confirm:
             self._confirmed[link_id] = True
             self._streak[link_id] = 0
+            self._note_transition("confirmed")
             return True
         self._streak[link_id] = streak
         return False
@@ -109,9 +132,12 @@ class OnsetDebouncer:
     def clear(self, link_id: LinkId) -> None:
         """Reset a link's debounce state (rate fell below the watermark,
         or the link was repaired)."""
+        was_confirmed = self._confirmed.get(link_id, False)
         self._streak.pop(link_id, None)
         self._last_time.pop(link_id, None)
         self._confirmed.pop(link_id, None)
+        if was_confirmed:
+            self._note_transition("cleared")
 
 
 # ---------------------------------------------------------------------- #
@@ -165,19 +191,54 @@ class CircuitBreaker:
     open, :meth:`allow` is False (callers use their fallback).  After
     ``recovery_s`` the breaker half-opens: the next call is allowed as a
     probe, and its outcome either closes or re-opens the breaker.
+
+    Every state transition is exported through ``obs`` as a labeled
+    counter (``breaker_transitions_total{breaker,from,to}``) plus a numeric
+    state gauge, so shard health dashboards can see breakers flip without
+    polling.
     """
 
+    #: Gauge encoding of the three states.
+    STATE_VALUES = {
+        BreakerState.CLOSED: 0,
+        BreakerState.HALF_OPEN: 1,
+        BreakerState.OPEN: 2,
+    }
+
     def __init__(
-        self, failure_threshold: int = 3, recovery_s: float = 4 * 3600.0
+        self,
+        failure_threshold: int = 3,
+        recovery_s: float = 4 * 3600.0,
+        obs: Recorder = NULL_RECORDER,
+        name: str = "optimizer",
     ):
         if failure_threshold < 1:
             raise ValueError("failure threshold must be >= 1")
         self.failure_threshold = failure_threshold
         self.recovery_s = recovery_s
+        self.obs = obs
+        self.name = name
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at_s: Optional[float] = None
         self.trips = 0
+
+    def _transition(self, to: BreakerState) -> None:
+        """Move to ``to``, exporting the transition when it changes state."""
+        prev = self.state
+        self.state = to
+        if prev is to:
+            return
+        obs = self.obs
+        if obs.enabled:
+            obs.count(
+                "breaker_transitions_total",
+                breaker=self.name,
+                **{"from": prev.value, "to": to.value},
+            )
+            obs.gauge(
+                "breaker_state", self.STATE_VALUES[to], breaker=self.name
+            )
 
     def allow(self, time_s: float) -> bool:
         """Whether the protected call may run at ``time_s``."""
@@ -188,13 +249,13 @@ class CircuitBreaker:
                 self.opened_at_s is not None
                 and time_s - self.opened_at_s >= self.recovery_s
             ):
-                self.state = BreakerState.HALF_OPEN
+                self._transition(BreakerState.HALF_OPEN)
                 return True
             return False
         return True  # HALF_OPEN: probe allowed
 
     def record_success(self) -> None:
-        self.state = BreakerState.CLOSED
+        self._transition(BreakerState.CLOSED)
         self.consecutive_failures = 0
         self.opened_at_s = None
 
@@ -206,7 +267,7 @@ class CircuitBreaker:
         ):
             if self.state is not BreakerState.OPEN:
                 self.trips += 1
-            self.state = BreakerState.OPEN
+            self._transition(BreakerState.OPEN)
             self.opened_at_s = time_s
 
 
@@ -246,15 +307,21 @@ class AuditRecord:
 class AuditLog:
     """Ring-buffered audit trail with exact per-event aggregate counts.
 
-    The record buffer is bounded (old entries evict), but ``counts`` are
-    plain integers and stay exact over arbitrarily long runs.
+    The record buffer is bounded (old entries evict; ``evicted`` counts
+    how many, so week-long service runs can't grow it without limit and
+    dashboards can see how much history the ring has shed), but
+    ``counts`` are plain integers and stay exact over arbitrarily long
+    runs.
     """
 
     maxlen: int = 1024
     counts: Dict[str, int] = field(default_factory=dict)
+    evicted: int = 0
     _records: Deque[AuditRecord] = field(default_factory=deque, repr=False)
 
     def __post_init__(self):
+        if self.maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
         self._records = deque(self._records, maxlen=self.maxlen)
 
     def record(
@@ -272,6 +339,8 @@ class AuditLog:
             detail=detail,
             fail_safe=fail_safe,
         )
+        if len(self._records) == self.maxlen:
+            self.evicted += 1  # the append below pushes out the oldest
         self._records.append(entry)
         self.counts[event] = self.counts.get(event, 0) + 1
         return entry
@@ -307,6 +376,7 @@ class AuditLog:
                 "repro_version": __version__,
                 "total_decisions": self.total(),
                 "buffered_decisions": len(self._records),
+                "evicted_decisions": self.evicted,
                 "counts": dict(sorted(self.counts.items())),
             },
             sort_keys=True,

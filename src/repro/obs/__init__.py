@@ -41,9 +41,11 @@ from repro.obs.registry import MetricsRegistry  # noqa: F401
 from repro.obs.schema import (  # noqa: F401
     validate_audit_jsonl,
     validate_benchmark_record,
+    validate_checkpoint_file,
     validate_chrome_trace,
     validate_events_jsonl,
     validate_prometheus_text,
+    validate_service_report_jsonl,
     validate_sweep_jsonl,
 )
 from repro.obs.session import ObsRecorder  # noqa: F401
@@ -67,9 +69,11 @@ __all__ = [
     "topology_digest",
     "validate_audit_jsonl",
     "validate_benchmark_record",
+    "validate_checkpoint_file",
     "validate_chrome_trace",
     "validate_events_jsonl",
     "validate_prometheus_text",
+    "validate_service_report_jsonl",
     "validate_sweep_jsonl",
     "write_chrome_trace",
     "write_events_jsonl",

@@ -8,6 +8,7 @@ raising: an empty list means valid.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from typing import Dict, List, Sequence
@@ -355,6 +356,189 @@ def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
             problems.append(
                 f"header says jobs_total={header['jobs_total']} but stream "
                 f"has {jobs_seen} result rows"
+            )
+    return problems
+
+
+#: Checkpoint literals, kept inline so the schema module stays
+#: import-light; pinned against :mod:`repro.service.checkpoint` by the
+#: service tests.
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Service-report literals, pinned against :mod:`repro.service.service`.
+SERVICE_REPORT_FORMAT = "repro-service-report"
+SERVICE_REPORT_FORMAT_VERSION = 1
+
+
+def validate_checkpoint_file(path) -> List[str]:
+    """Problems with a service checkpoint file (empty list = valid).
+
+    Validates the JSON header (format, version, required fields) and the
+    payload integrity (length and SHA-256 digest) **without unpickling**
+    — safe to run on untrusted or truncated files.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    newline = raw.find(b"\n")
+    if newline < 0:
+        return ["no header line (not a checkpoint)"]
+    try:
+        header = json.loads(raw[:newline].decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return [f"header line is not JSON ({exc})"]
+    if not isinstance(header, dict):
+        return ["header is not an object"]
+    problems: List[str] = []
+    if header.get("format") != CHECKPOINT_FORMAT:
+        problems.append(f"wrong or missing 'format' {header.get('format')!r}")
+    if header.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+        problems.append(
+            f"unsupported 'format_version' {header.get('format_version')!r}"
+        )
+    if not header.get("repro_version"):
+        problems.append("missing 'repro_version'")
+    if not isinstance(header.get("sim_time_s"), (int, float)):
+        problems.append("missing numeric 'sim_time_s'")
+    if not isinstance(header.get("boundary_index"), int):
+        problems.append("missing integer 'boundary_index'")
+    if not isinstance(header.get("config"), dict):
+        problems.append("missing object 'config'")
+    payload = raw[newline + 1 :]
+    if header.get("payload_bytes") != len(payload):
+        problems.append(
+            f"payload is {len(payload)} bytes, header says "
+            f"{header.get('payload_bytes')!r}"
+        )
+    digest = header.get("state_digest")
+    if not isinstance(digest, str):
+        problems.append("missing 'state_digest'")
+    elif hashlib.sha256(payload).hexdigest() != digest:
+        problems.append("state_digest mismatch (corrupt payload)")
+    return problems
+
+
+def validate_service_report_jsonl(lines: Sequence[str]) -> List[str]:
+    """Problems with a ``repro serve`` report (empty list = valid)."""
+    problems: List[str] = []
+    if not lines:
+        return ["empty stream"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"line 1: invalid JSON ({exc})"]
+    if not isinstance(header, dict) or header.get("type") != "header":
+        problems.append("line 1: first record must have type 'header'")
+    else:
+        if header.get("format") != SERVICE_REPORT_FORMAT:
+            problems.append("line 1: wrong or missing 'format'")
+        if not isinstance(header.get("format_version"), int):
+            problems.append("line 1: missing integer 'format_version'")
+        if not header.get("repro_version"):
+            problems.append("line 1: missing 'repro_version'")
+        if not isinstance(header.get("config"), dict):
+            problems.append("line 1: missing object 'config'")
+        shards = header.get("shards")
+        if not isinstance(shards, int) or shards < 1:
+            problems.append("line 1: missing positive integer 'shards'")
+
+    results_seen = 0
+    shards_seen = 0
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: record is not an object")
+            continue
+        kind = record.get("type")
+        if kind == "result":
+            results_seen += 1
+            for key in ("penalty_integral", "mean_penalty"):
+                if not isinstance(record.get(key), (int, float)):
+                    problems.append(
+                        f"line {lineno}: result missing numeric {key!r}"
+                    )
+            digest = record.get("fingerprint", "")
+            if not (isinstance(digest, str) and digest.startswith("sha256:")):
+                problems.append(
+                    f"line {lineno}: missing sha256 'fingerprint'"
+                )
+            if not isinstance(record.get("invariants_ok"), bool):
+                problems.append(
+                    f"line {lineno}: missing boolean 'invariants_ok'"
+                )
+            chaos = record.get("chaos")
+            if not isinstance(chaos, dict):
+                problems.append(f"line {lineno}: missing object 'chaos'")
+            else:
+                for key in CHAOS_COUNT_COLUMNS:
+                    value = chaos.get(key)
+                    if not isinstance(value, int) or isinstance(value, bool):
+                        problems.append(
+                            f"line {lineno}: chaos block missing integer "
+                            f"{key!r}"
+                        )
+            queue = record.get("queue")
+            if not isinstance(queue, dict):
+                problems.append(f"line {lineno}: missing object 'queue'")
+            else:
+                if queue.get("accounting_ok") is not True:
+                    problems.append(
+                        f"line {lineno}: queue accounting not ok"
+                    )
+                for key in (
+                    "offered",
+                    "accepted",
+                    "deferred",
+                    "requeued",
+                    "dropped",
+                    "drained",
+                    "pending",
+                    "backpressure_losses",
+                ):
+                    value = queue.get(key)
+                    if not isinstance(value, int) or isinstance(value, bool):
+                        problems.append(
+                            f"line {lineno}: queue missing integer {key!r}"
+                        )
+            audit = record.get("audit")
+            if not isinstance(audit, dict) or not isinstance(
+                audit.get("evicted_decisions"), int
+            ):
+                problems.append(
+                    f"line {lineno}: missing audit.evicted_decisions"
+                )
+        elif kind == "shard":
+            if record.get("shard") != shards_seen:
+                problems.append(
+                    f"line {lineno}: shard rows out of order "
+                    f"(got {record.get('shard')!r}, want {shards_seen})"
+                )
+            shards_seen += 1
+            if not isinstance(record.get("log"), dict):
+                problems.append(f"line {lineno}: shard missing object 'log'")
+            for key in ("links", "tors"):
+                if not isinstance(record.get(key), int):
+                    problems.append(
+                        f"line {lineno}: shard missing integer {key!r}"
+                    )
+        else:
+            problems.append(f"line {lineno}: unknown type {kind!r}")
+    if results_seen != 1:
+        problems.append(f"stream has {results_seen} result rows (want 1)")
+    if isinstance(header, dict) and isinstance(header.get("shards"), int):
+        if shards_seen != header["shards"]:
+            problems.append(
+                f"header says shards={header['shards']} but stream has "
+                f"{shards_seen} shard rows"
             )
     return problems
 

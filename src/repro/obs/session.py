@@ -48,7 +48,7 @@ class ObsRecorder(Recorder):
         self.manifest = manifest
         self.registry = MetricsRegistry()
         self.tracer = SpanTracer(
-            sim_time_fn=lambda: self._sim_time, max_spans=max_spans
+            sim_time_fn=self._current_sim_time, max_spans=max_spans
         )
         self.events: List[Dict[str, object]] = []
         self.max_events = max_events
@@ -61,6 +61,11 @@ class ObsRecorder(Recorder):
 
     def set_sim_time(self, time_s: float) -> None:
         self._sim_time = time_s
+
+    def _current_sim_time(self) -> float:
+        """Tracer clock hook (a bound method, not a lambda, so a recorder
+        embedded in a service checkpoint pickles cleanly)."""
+        return self._sim_time
 
     @property
     def sim_time_s(self) -> float:

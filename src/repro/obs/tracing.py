@@ -27,6 +27,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 
+def _zero_sim_time() -> float:
+    """Default sim clock (module-level so tracers pickle cleanly)."""
+    return 0.0
+
+
 @dataclass
 class SpanRecord:
     """One finished span."""
@@ -102,7 +107,7 @@ class SpanTracer:
     ):
         if max_spans < 1:
             raise ValueError("max_spans must be >= 1")
-        self.sim_time = sim_time_fn or (lambda: 0.0)
+        self.sim_time = sim_time_fn or _zero_sim_time
         self.clock = clock
         self.max_spans = max_spans
         self.spans: List[SpanRecord] = []

@@ -51,8 +51,15 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _failure(kind: str, message: str) -> Dict[str, str]:
-    return {"kind": kind, "message": message}
+def _failure(kind: str, message: str, attempts: int = 0) -> Dict[str, object]:
+    """Structured failure payload carried on a failed JobRecord.
+
+    ``attempts`` (and the last exception text in ``message``) ride inside
+    the error object so the JSONL failure row stays self-describing even
+    with ``--no-timing`` (which strips the timing block that also carries
+    attempt counts).
+    """
+    return {"kind": kind, "message": message, "attempts": attempts}
 
 
 def _init_worker() -> None:
@@ -190,6 +197,7 @@ class ParallelRunner:
                                 error=_failure(
                                     "exception",
                                     f"{type(exc).__name__}: {exc}",
+                                    attempts=attempt,
                                 ),
                                 attempts=attempt,
                             )
@@ -247,7 +255,23 @@ class ParallelRunner:
         for stats in worker_stats.values():
             for key, value in stats.items():
                 cache_totals[key] = cache_totals.get(key, 0) + value
-        return [r for r in records if r is not None], cache_totals
+        # Every spec gets a record: a job that somehow fell through both
+        # the wave and the isolated tail becomes a structured failure
+        # instead of a silently shorter record list (which would desync
+        # records from specs downstream).
+        for index, record in enumerate(records):
+            if record is None:
+                records[index] = JobRecord(
+                    spec=specs[index],
+                    status="failed",
+                    error=_failure(
+                        "unresolved",
+                        "job never produced a result or failure",
+                        attempts=attempts[index],
+                    ),
+                    attempts=attempts[index],
+                )
+        return list(records), cache_totals
 
     def _run_wave(self, specs, pending, records, attempts, worker_stats):
         """Run ``pending`` in one shared pool.
@@ -287,6 +311,7 @@ class ParallelRunner:
                                 error=_failure(
                                     "timeout",
                                     f"no completion within {self.timeout_s}s",
+                                    attempts=attempts[index],
                                 ),
                                 attempts=attempts[index],
                             )
@@ -312,15 +337,27 @@ class ParallelRunner:
                             spec=specs[index],
                             status="failed",
                             error=_failure(
-                                "exception", f"{type(exc).__name__}: {exc}"
+                                "exception",
+                                f"{type(exc).__name__}: {exc}",
+                                attempts=attempts[index],
                             ),
                             attempts=attempts[index],
                         )
                     else:
                         attempts[index] += 1
-                        retry_future = pool.submit(
-                            pool_entry, specs[index], attempts[index]
-                        )
+                        try:
+                            retry_future = pool.submit(
+                                pool_entry, specs[index], attempts[index]
+                            )
+                        except (BrokenProcessPool, RuntimeError):
+                            # The pool broke while we were draining this
+                            # completion batch (a crash elsewhere is
+                            # collective).  Don't abort the sweep: hand
+                            # the job to the isolated tail instead.
+                            broken = True
+                            attempts[index] -= 1  # retry never ran
+                            unresolved.append(index)
+                            continue
                         futures[retry_future] = index
                         not_done.add(retry_future)
             if broken:
@@ -359,7 +396,9 @@ class ParallelRunner:
                     spec=spec,
                     status="failed",
                     error=_failure(
-                        "timeout", f"no completion within {self.timeout_s}s"
+                        "timeout",
+                        f"no completion within {self.timeout_s}s",
+                        attempts=attempts[index],
                     ),
                     attempts=attempts[index],
                 )
@@ -374,6 +413,7 @@ class ParallelRunner:
                             "worker-crash",
                             "worker process died "
                             f"(attempt {attempts[index]})",
+                            attempts=attempts[index],
                         ),
                         attempts=attempts[index],
                     )
@@ -385,7 +425,9 @@ class ParallelRunner:
                         spec=spec,
                         status="failed",
                         error=_failure(
-                            "exception", f"{type(exc).__name__}: {exc}"
+                            "exception",
+                            f"{type(exc).__name__}: {exc}",
+                            attempts=attempts[index],
                         ),
                         attempts=attempts[index],
                     )

@@ -1,0 +1,123 @@
+"""The streaming telemetry ingestion front-end.
+
+In batch chaos runs the poller hands every sample straight to the
+sanitizer inside one synchronous ``poll_once``.  The service interposes
+the collector-side reality the paper describes (§2: SNMP pushes arrive
+from hundreds of thousands of interfaces): device counters arrive as
+**batched pushes** which flow through the chaos fault transport (wraps,
+freezes, garbage — injected into the *live* stream) and then into a
+:class:`~repro.service.queues.BoundedWorkQueue` before the sanitizer
+sees them.
+
+Backpressure is explicit: a full queue defers batches to the next poll
+tick (they arrive late, exactly like a slow collector) or drops them
+(the sanitizer is told the poll went missing, feeding the same
+quality/quarantine machinery that handles chaos faults).  Either path is
+fully accounted — see :meth:`BoundedWorkQueue.accounting_ok`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.service.queues import DROPPED, BoundedWorkQueue
+from repro.telemetry.poller import SnmpPoller
+
+
+@dataclass(frozen=True)
+class TelemetryBatch:
+    """One batched SNMP-style push: a slice of a poll's deliveries.
+
+    ``deliveries`` is a tuple of ``(direction_id, (snapshot, ...))``
+    pairs exactly as produced by the collect phase (already routed
+    through the fault transport, so chaos faults live in the stream).
+    """
+
+    time_s: float
+    deliveries: Tuple[tuple, ...]
+
+
+class IngestingPoller(SnmpPoller):
+    """A poller whose sanitize/store phases run behind a bounded queue.
+
+    Each poll tick:
+
+    1. **collect** — accumulate device counters and run the (possibly
+       fault-injecting) transport, as in :class:`SnmpPoller`;
+    2. **push** — slice the deliveries into :class:`TelemetryBatch`
+       pushes of ``batch_size`` directions and offer each to the queue;
+       dropped batches are reported to the sanitizer as missing polls;
+    3. **drain** — pop up to ``drain_budget`` batches (oldest first,
+       deferred backlog ahead of fresh pushes) and run sanitize + store
+       for each at its *original* batch timestamp.
+
+    With an ample queue and no drain budget this degenerates to the
+    batch poller's behaviour (same samples, same order); under load the
+    queue is where the service bends instead of breaking.
+    """
+
+    def __init__(
+        self,
+        *args,
+        queue: BoundedWorkQueue,
+        batch_size: int = 64,
+        drain_budget: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if drain_budget is not None and drain_budget < 1:
+            raise ValueError("drain_budget must be >= 1 (or None)")
+        self.queue = queue
+        self.batch_size = batch_size
+        self.drain_budget = drain_budget
+        #: Directions whose pushes were dropped by backpressure (they
+        #: surface as missed polls downstream; counted separately so the
+        #: two causes stay distinguishable).
+        self.backpressure_losses = 0
+
+    def poll_once(self) -> float:
+        self.time_s += self.interval_s
+        now = self.time_s
+        obs = self.obs
+        with obs.span("poll", cat="telemetry") as span:
+            with obs.span("poll.collect", cat="telemetry"):
+                deliveries = self._collect(now)
+            with obs.span("poll.ingest", cat="telemetry"):
+                self._push_batches(now, deliveries)
+                drained = self.queue.drain(self.drain_budget)
+            with obs.span("poll.store", cat="telemetry"):
+                stored = 0
+                for batch in drained:
+                    pending = self._sanitize(
+                        list(batch.deliveries), batch.time_s
+                    )
+                    self._store_pending(pending)
+                    stored += len(pending)
+            if obs.enabled:
+                span.set(
+                    directions=len(deliveries),
+                    batches=len(drained),
+                    stored=stored,
+                    backlog=self.queue.pending(),
+                )
+                obs.count("polls_total")
+        return now
+
+    def _push_batches(self, now: float, deliveries) -> None:
+        size = self.batch_size
+        for i in range(0, len(deliveries), size):
+            batch = TelemetryBatch(
+                time_s=now, deliveries=tuple(deliveries[i : i + size])
+            )
+            if self.queue.push(batch) == DROPPED:
+                # The push is gone: downstream this is indistinguishable
+                # from a missed poll, so route it through the same
+                # quality machinery the chaos faults use.
+                for did, _delivered in batch.deliveries:
+                    self.backpressure_losses += 1
+                    self.missed_polls += 1
+                    if self.sanitizer is not None:
+                        self.sanitizer.observe_missing(did, now)

@@ -1,0 +1,60 @@
+"""Static shard construction for the sharded controller service.
+
+§8's segmentation argument says two links only interact when some ToR
+lies downstream of both; :func:`repro.core.segmentation.segment_links`
+already partitions links by that relation.  The service applies it to
+the *whole* topology (every link contested, every ToR at risk), which in
+a Clos collapses to one shard per pod-sized upstream cone — a static
+partition that stays valid for every hypothetical disable-set, so each
+shard's controller can fast-check and optimize independently without
+ever planning over another shard's links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from repro.core.segmentation import segment_links
+from repro.topology.elements import LinkId
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One controller shard: a segment of links and its at-risk ToRs."""
+
+    index: int
+    links: FrozenSet[LinkId]
+    tors: FrozenSet[str]
+
+
+def build_shards(topo: Topology) -> List[Shard]:
+    """Partition the topology into static controller shards.
+
+    Deterministic: segments come back sorted by their smallest link, and
+    shard indexes follow that order.
+    """
+    segments = segment_links(
+        topo, sorted(topo.link_ids()), set(topo.tors())
+    )
+    return [
+        Shard(index=i, links=seg.links, tors=seg.tors)
+        for i, seg in enumerate(segments)
+    ]
+
+
+class ShardRouter:
+    """Maps a link to the shard that owns it (shard 0 for strays)."""
+
+    def __init__(self, shards: List[Shard]):
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self._by_link: Dict[LinkId, int] = {}
+        for shard in shards:
+            for lid in shard.links:
+                self._by_link[lid] = shard.index
+
+    def shard_of(self, link_id: LinkId) -> int:
+        return self._by_link.get(link_id, 0)

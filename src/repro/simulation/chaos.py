@@ -66,6 +66,8 @@ class ChaosSimulation:
         debounce_confirm: Consecutive confirming reports needed before the
             controller acts on an onset (1 = act immediately).
         max_decisions: Controller decision ring-buffer bound.
+        audit_maxlen: Audit-log ring bound (evictions are counted
+            exactly and exported as ``audit_evicted_records``).
         obs: Observability recorder threaded through the whole closed loop
             (poller, sanitizer, controller, optimizer).  The default
             :data:`~repro.obs.recorder.NULL_RECORDER` preserves the
@@ -84,6 +86,7 @@ class ChaosSimulation:
         poll_interval_s: float = 900.0,
         debounce_confirm: int = 2,
         max_decisions: int = 4096,
+        audit_maxlen: int = 1024,
         obs: Recorder = NULL_RECORDER,
     ):
         self.scenario = scenario
@@ -97,6 +100,7 @@ class ChaosSimulation:
             poll_interval_s=poll_interval_s,
             debounce_confirm=debounce_confirm,
             max_decisions=max_decisions,
+            audit_maxlen=audit_maxlen,
         )
         self.kernel = SimulationKernel(
             self.topo,

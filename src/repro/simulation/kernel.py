@@ -218,6 +218,8 @@ class SimulationKernel:
                 service_time_s=service_s,
                 obs=obs,
             )
+        self._started = False
+        self._result: Optional[RunResult] = None
         self.pipeline = pipeline
         pipeline.attach(self)
 
@@ -303,17 +305,36 @@ class SimulationKernel:
                 )
         self.schedule_pool_check()
 
-    def run(self) -> RunResult:
-        """Drain the heap to the end; return the recorded metrics."""
+    def start(self) -> None:
+        """Bootstrap the pipeline's initial event population (idempotent).
+
+        Separated from :meth:`run` so a long-running service can bootstrap
+        once, then drain the heap in checkpointable slices via
+        :meth:`run_until`.
+        """
+        if self._started:
+            return
+        self._started = True
+        self.pipeline.bootstrap()
+
+    def run_until(self, time_limit_s: float) -> int:
+        """Process every event with heap time ``<= time_limit_s``.
+
+        Requires :meth:`start` to have run.  Returns the number of events
+        processed.  Passing ``float("inf")`` drains the heap completely;
+        repeated calls with increasing limits process exactly the same
+        event sequence as one full drain, which is what makes a
+        checkpoint boundary a safe kill point.
+        """
         pipeline = self.pipeline
-        pipeline.bootstrap()
         duration_s = self.duration_s
         obs = self.obs
         span_names = pipeline.span_names
         span_cat = pipeline.span_cat
         snapshot_kinds = pipeline.snapshot_kinds
         heap = self._heap
-        while heap:
+        processed = 0
+        while heap and heap[0][0] <= time_limit_s:
             time_s, kind, _subkey, _tie, payload = heapq.heappop(heap)
             obs.set_sim_time(time_s)
             with obs.span(span_names[kind], cat=span_cat):
@@ -330,14 +351,34 @@ class SimulationKernel:
                     obs.count("sim_events_total", kind=KIND_NAMES[kind])
             if kind in snapshot_kinds and time_s <= duration_s:
                 self.snapshot(time_s)
+            processed += 1
+        return processed
 
-        pipeline.finish()
-        return RunResult(
-            strategy_name=pipeline.strategy_name,
-            duration_s=duration_s,
-            metrics=self.metrics,
-            **pipeline.result_sections(),
-        )
+    def events_pending(self) -> int:
+        """Events still on the heap."""
+        return len(self._heap)
+
+    def next_event_time(self) -> Optional[float]:
+        """Heap time of the next event, or ``None`` when drained."""
+        return self._heap[0][0] if self._heap else None
+
+    def finish(self) -> RunResult:
+        """End-of-run accounting; assemble the result (idempotent)."""
+        if self._result is None:
+            self.pipeline.finish()
+            self._result = RunResult(
+                strategy_name=self.pipeline.strategy_name,
+                duration_s=self.duration_s,
+                metrics=self.metrics,
+                **self.pipeline.result_sections(),
+            )
+        return self._result
+
+    def run(self) -> RunResult:
+        """Drain the heap to the end; return the recorded metrics."""
+        self.start()
+        self.run_until(float("inf"))
+        return self.finish()
 
 
 # ---------------------------------------------------------------------- #
@@ -560,6 +601,7 @@ class TelemetrySensing(SensingPipeline):
         poll_interval_s: float = 900.0,
         debounce_confirm: int = 2,
         max_decisions: int = 4096,
+        audit_maxlen: int = 1024,
     ):
         self.trace = trace
         self.constraint = constraint
@@ -569,6 +611,13 @@ class TelemetrySensing(SensingPipeline):
         self.poll_interval_s = poll_interval_s
         self.debounce_confirm = debounce_confirm
         self.max_decisions = max_decisions
+        self.audit_maxlen = audit_maxlen
+
+    def _offered_packets(self, _did, _t) -> int:
+        """Offered packets per direction per poll (a bound method rather
+        than a lambda so the whole pipeline stays picklable for
+        checkpoint/restore)."""
+        return self.packets_per_poll
 
     def attach(self, kernel: SimulationKernel) -> None:
         super().attach(kernel)
@@ -591,17 +640,34 @@ class TelemetrySensing(SensingPipeline):
             if self.fault_config is not None
             else None
         )
-        self.poller = SnmpPoller(
+        self.poller = self._make_poller(topo, obs, interval)
+        self.audit = AuditLog(maxlen=self.audit_maxlen)
+        self.controller = self._make_controller(topo, obs, interval)
+
+        self.chaos = ChaosMetrics()
+        # Ground truth bookkeeping: outstanding fault onset times and
+        # which of them the telemetry pipeline has noticed.
+        self._onset_time: Dict[LinkId, float] = {}
+        self._detected: Set[LinkId] = set()
+        self._min_threshold = min(
+            [self.constraint.default] + list(self.constraint.per_tor.values())
+        )
+
+    # -- component factories (overridden by the service pipeline) ------- #
+
+    def _make_poller(self, topo, obs, interval: float) -> SnmpPoller:
+        return SnmpPoller(
             topo,
             self.store,
-            packets_fn=lambda _did, _t: self.packets_per_poll,
+            packets_fn=self._offered_packets,
             interval_s=interval,
             transport=self.transport,
             sanitizer=self.sanitizer,
             obs=obs,
         )
-        self.audit = AuditLog()
-        self.controller = CorrOptController(
+
+    def _make_controller(self, topo, obs, interval: float) -> CorrOptController:
+        return CorrOptController(
             topo,
             self.constraint,
             quarantine_fn=self.sanitizer.link_quarantined,
@@ -614,15 +680,6 @@ class TelemetrySensing(SensingPipeline):
             max_decisions=self.max_decisions,
             audit=self.audit,
             obs=obs,
-        )
-
-        self.chaos = ChaosMetrics()
-        # Ground truth bookkeeping: outstanding fault onset times and
-        # which of them the telemetry pipeline has noticed.
-        self._onset_time: Dict[LinkId, float] = {}
-        self._detected: Set[LinkId] = set()
-        self._min_threshold = min(
-            [self.constraint.default] + list(self.constraint.per_tor.values())
         )
 
     def bootstrap(self) -> None:
@@ -655,16 +712,21 @@ class TelemetrySensing(SensingPipeline):
             if condition.rev_rate > 0:
                 topo.set_corruption(link_id, condition.rev_rate, Direction.DOWN)
 
+    def _controller_for(self, link_id: LinkId) -> CorrOptController:
+        """The controller that owns ``link_id`` (sharded in the service)."""
+        return self.controller
+
     def handle_repair(self, time_s: float, link_id: LinkId) -> None:
         kernel = self.kernel
         self._onset_time.pop(link_id, None)
         self._detected.discard(link_id)
         kernel.metrics.repairs_completed += 1
-        before = self.controller.log.disabled_by_optimizer
-        result = self.controller.activate_link(
+        controller = self._controller_for(link_id)
+        before = controller.log.disabled_by_optimizer
+        result = controller.activate_link(
             link_id, repaired=True, time_s=time_s
         )
-        newly = self.controller.log.disabled_by_optimizer - before
+        newly = controller.log.disabled_by_optimizer - before
         kernel.metrics.disabled_on_activation += newly
         # Optimizer-driven disables also need repair visits (skip any the
         # fail-safe rule kept active despite the plan).
@@ -705,7 +767,7 @@ class TelemetrySensing(SensingPipeline):
                 truly_corrupting = (
                     topo.link(link_id).max_corruption_rate() > 0
                 )
-                decision = self.controller.report_corruption(
+                decision = self._controller_for(link_id).report_corruption(
                     link_id, corruption, direction, time_s=now
                 )
                 if truly_corrupting and link_id not in self._detected:
@@ -782,6 +844,7 @@ class TelemetrySensing(SensingPipeline):
             "sanitizer_quarantined_directions",
             self.sanitizer.quarantined_directions(),
         )
+        obs.gauge("audit_evicted_records", self.audit.evicted)
 
     def result_sections(self) -> Dict[str, object]:
         return {

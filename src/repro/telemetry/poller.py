@@ -22,6 +22,12 @@ from repro.topology.graph import Topology
 POLL_INTERVAL_S = 900.0  # 15 minutes
 
 
+def _zero_congestion(_did: DirectionId, _t: float) -> float:
+    """Default congestion model: no drops (module-level so pollers stay
+    picklable for service checkpoint/restore)."""
+    return 0.0
+
+
 @dataclass
 class OpticalReading:
     """Optical power levels of one link at one poll."""
@@ -78,7 +84,7 @@ class SnmpPoller:
         self._topo = topo
         self._store = store
         self._packets_fn = packets_fn
-        self._congestion_fn = congestion_fn or (lambda _did, _t: 0.0)
+        self._congestion_fn = congestion_fn or _zero_congestion
         self.interval_s = interval_s
         self.transport = transport
         self.sanitizer = sanitizer

@@ -1,0 +1,111 @@
+"""CLI: the ``repro serve`` continuous-operation command.
+
+A tiny full run, a stop-and-resume run whose report must be
+byte-identical, and checkpoint/report validation through ``repro obs``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST = [
+    "--days", "0.5", "--scale", "0.06",
+    "--seed", "7", "--fault-seed", "7", "--chaos-preset", "mild",
+]
+
+
+class TestServe:
+    def test_full_run_prints_summary(self, capsys):
+        code = main(["serve", *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard(s)" in out
+        assert "accounting OK" in out
+        assert "-> OK" in out
+
+    def test_checkpointing_requires_directory(self, capsys):
+        code = main(["serve", *FAST, "--checkpoint-every", "4"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().out
+
+    def test_validation_error_surfaces(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--queue-policy", "block"])
+
+    def test_stop_and_resume_reports_are_byte_identical(
+        self, tmp_path, capsys
+    ):
+        full_report = tmp_path / "full.jsonl"
+        assert main([
+            "serve", *FAST,
+            "--checkpoint-every", "4",
+            "--checkpoint-dir", str(tmp_path / "ck-full"),
+            "--out", str(full_report),
+        ]) == 0
+        capsys.readouterr()
+
+        resumed_report = tmp_path / "resumed.jsonl"
+        ck_dir = tmp_path / "ck-stop"
+        assert main([
+            "serve", *FAST,
+            "--checkpoint-every", "4",
+            "--checkpoint-dir", str(ck_dir),
+            "--stop-after-checkpoint", "1",
+            "--out", str(resumed_report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stopped (max-boundaries)" in out
+        assert not resumed_report.exists()  # stopped early: no report yet
+        checkpoint = ck_dir / "checkpoint-000001.ckpt"
+        assert checkpoint.exists()
+
+        assert main([
+            "serve",
+            "--resume-from", str(checkpoint),
+            "--checkpoint-dir", str(ck_dir),
+            "--out", str(resumed_report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert full_report.read_bytes() == resumed_report.read_bytes()
+
+        # Both artifacts pass schema validation through the obs command.
+        assert main([
+            "obs", "--validate",
+            "--checkpoint", str(checkpoint),
+            "--service-report", str(full_report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "digest OK" in out
+        assert "validation: OK" in out
+
+    def test_obs_flags_tampered_checkpoint(self, tmp_path, capsys):
+        ck_dir = tmp_path / "ck"
+        assert main([
+            "serve", *FAST,
+            "--checkpoint-every", "4",
+            "--checkpoint-dir", str(ck_dir),
+            "--stop-after-checkpoint", "1",
+        ]) == 0
+        capsys.readouterr()
+        checkpoint = ck_dir / "checkpoint-000001.ckpt"
+        raw = bytearray(checkpoint.read_bytes())
+        raw[-1] ^= 0xFF
+        checkpoint.write_bytes(bytes(raw))
+        code = main(["obs", "--validate", "--checkpoint", str(checkpoint)])
+        assert code != 0
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_report_is_canonical_jsonl(self, tmp_path, capsys):
+        report = tmp_path / "r.jsonl"
+        assert main(["serve", *FAST, "--out", str(report)]) == 0
+        lines = report.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == "repro-service-report"
+        assert header["config"]["seed"] == 7
+        # Canonical encoding: compact separators, sorted keys.
+        assert lines[0] == json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        )

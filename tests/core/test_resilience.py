@@ -1,5 +1,7 @@
 """Tests for the fail-safe building blocks in repro.core.resilience."""
 
+import json
+
 import pytest
 
 from repro.core import (
@@ -9,6 +11,7 @@ from repro.core import (
     OnsetDebouncer,
     retry_with_backoff,
 )
+from repro.obs import ObsRecorder
 
 LID = ("a", "b")
 
@@ -138,6 +141,83 @@ class TestCircuitBreaker:
         b.record_failure(1.0)
         assert b.state is BreakerState.CLOSED
 
+    def test_transitions_become_labeled_counters(self):
+        """Each state change is a labeled counter increment plus a
+        numeric state gauge — the service dashboards key off these."""
+        obs = ObsRecorder()
+        b = CircuitBreaker(
+            failure_threshold=1, recovery_s=100.0, obs=obs, name="shard0"
+        )
+        b.record_failure(0.0)          # closed -> open
+        assert b.allow(150.0)          # open -> half-open probe
+        b.record_failure(150.0)        # half-open -> open (re-trip)
+        assert b.allow(300.0)          # open -> half-open again
+        b.record_success()             # half-open -> closed
+        reg = obs.registry
+
+        def transitions(src, dst):
+            return reg.get_value(
+                "breaker_transitions_total",
+                breaker="shard0",
+                **{"from": src, "to": dst},
+            )
+
+        assert transitions("closed", "open") == 1
+        assert transitions("open", "half_open") == 2
+        assert transitions("half_open", "open") == 1  # the re-trip
+        assert transitions("half_open", "closed") == 1
+        assert reg.get_value("breaker_state", breaker="shard0") == (
+            CircuitBreaker.STATE_VALUES[BreakerState.CLOSED]
+        )
+
+    def test_half_open_re_trip_counts_a_second_trip(self):
+        obs = ObsRecorder()
+        b = CircuitBreaker(failure_threshold=1, recovery_s=10.0, obs=obs)
+        b.record_failure(0.0)
+        assert b.trips == 1
+        assert b.allow(20.0)
+        b.record_failure(20.0)  # probe fails -> immediate re-open
+        assert b.trips == 2
+        assert b.state is BreakerState.OPEN
+        assert not b.allow(25.0)  # recovery clock restarted
+
+    def test_no_transition_counter_without_state_change(self):
+        obs = ObsRecorder()
+        b = CircuitBreaker(failure_threshold=3, obs=obs)
+        b.record_failure(0.0)  # stays closed
+        b.record_success()     # stays closed
+        assert obs.registry.counter_total("breaker_transitions_total") == 0
+
+
+class TestDebouncerObs:
+    def test_confirm_and_clear_transitions_counted(self):
+        obs = ObsRecorder()
+        d = OnsetDebouncer(
+            confirm=2, high=1e-8, obs=obs, name="shard1"
+        )
+        d.update(LID, 1e-6, 0.0)
+        d.update(LID, 1e-6, 900.0)   # confirmed
+        d.clear(LID)                 # cleared (repair)
+        reg = obs.registry
+        assert reg.get_value(
+            "debounce_transitions_total", debouncer="shard1", to="confirmed"
+        ) == 1
+        assert reg.get_value(
+            "debounce_transitions_total", debouncer="shard1", to="cleared"
+        ) == 1
+        assert reg.get_value(
+            "debounce_confirmed_links", debouncer="shard1"
+        ) == 0
+
+    def test_confirmed_links_gauge_tracks_live_set(self):
+        obs = ObsRecorder()
+        d = OnsetDebouncer(confirm=1, high=1e-8, obs=obs, name="d")
+        d.update(("a", "b"), 1e-5, 0.0)
+        d.update(("c", "d"), 1e-5, 0.0)
+        assert obs.registry.get_value(
+            "debounce_confirmed_links", debouncer="d"
+        ) == 2
+
 
 class TestAuditLog:
     def test_ring_bounded_counts_exact(self):
@@ -156,3 +236,24 @@ class TestAuditLog:
         assert entry.time_s == 5.0
         assert entry.event == "fast-check-error"
         assert not entry.fail_safe
+
+    def test_evicted_counter_is_exact(self):
+        log = AuditLog(maxlen=5)
+        assert log.evicted == 0
+        for i in range(5):
+            log.record(float(i), "optimizer-error")
+        assert log.evicted == 0  # exactly full, nothing out yet
+        for i in range(3):
+            log.record(float(5 + i), "optimizer-error")
+        assert log.evicted == 3
+        assert len(log.records()) == 5
+        assert log.total() == 8
+
+    def test_jsonl_header_reports_evictions(self):
+        log = AuditLog(maxlen=2)
+        for i in range(7):
+            log.record(float(i), "quarantined-report", fail_safe=True)
+        header = json.loads(next(iter(log.jsonl_lines())))
+        assert header["evicted_decisions"] == 5
+        assert header["buffered_decisions"] == 2
+        assert header["total_decisions"] == 7

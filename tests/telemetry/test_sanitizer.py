@@ -149,6 +149,70 @@ class TestQuarantine:
         s.observe_missing(("a", "b"), 900.0)
         assert not s.quarantined(("a", "b"))  # one bad sample is not enough
 
+    def test_release_follows_recovery_order_not_entry_order(self):
+        """Quarantine is per-direction state: the direction whose window
+        cleans up first is released first, regardless of which direction
+        was quarantined first."""
+        s = TelemetrySanitizer(window=4, quarantine_threshold=0.5,
+                               min_window_samples=2)
+        first, second = ("a", "b"), ("c", "d")
+        # `first` enters quarantine before `second`.
+        for did, start in ((first, 900.0), (second, 2700.0)):
+            s.observe_missing(did, start)
+            s.observe_missing(did, start + 900)
+        assert s.quarantined(first) and s.quarantined(second)
+        # Recovery happens in the opposite order: `second` gets clean
+        # samples first and must be released while `first` still sits
+        # in quarantine.
+        def feed_clean(did, t0, polls):
+            total = 1_000_000
+            s.ingest(did, snap(t0, total), CAP_PPS)
+            for i in range(1, polls + 1):
+                total += 1_000_000
+                s.ingest(did, snap(t0 + i * 900, total), CAP_PPS)
+
+        feed_clean(second, 9000.0, 4)
+        assert not s.quarantined(second)
+        assert s.quarantined(first)
+        assert s.link_quarantined(("a", "b"))
+        assert not s.link_quarantined(("c", "d"))
+        feed_clean(first, 18000.0, 4)
+        assert not s.quarantined(first)
+
+    def test_quarantine_transitions_counted_in_order(self):
+        from repro.obs import ObsRecorder
+
+        obs = ObsRecorder()
+        s = TelemetrySanitizer(window=4, quarantine_threshold=0.5,
+                               min_window_samples=2, obs=obs)
+        first, second = ("a", "b"), ("c", "d")
+        for did in (first, second):
+            s.observe_missing(did, 900.0)
+            s.observe_missing(did, 1800.0)
+        reg = obs.registry
+        assert reg.get_value(
+            "sanitizer_quarantine_transitions_total", transition="enter"
+        ) == 2
+        assert reg.get_value("sanitizer_quarantined_directions") == 2
+        # Clean out one window: exactly one leave transition.
+        total = 1_000_000
+        s.ingest(second, snap(9000.0, total), CAP_PPS)
+        for i in range(1, 5):
+            total += 1_000_000
+            s.ingest(second, snap(9000.0 + i * 900, total), CAP_PPS)
+        assert reg.get_value(
+            "sanitizer_quarantine_transitions_total", transition="leave"
+        ) == 1
+        assert reg.get_value("sanitizer_quarantined_directions") == 1
+        # The event stream preserves the enter/leave ordering.
+        quarantine_events = [
+            e for e in obs.events if e["name"] == "quarantine"
+        ]
+        assert [e["entered"] for e in quarantine_events] == [
+            True, True, False,
+        ]
+        assert quarantine_events[-1]["direction"] == "c->d"
+
 
 class TestOpticalPlausibility:
     def test_garbage_optics_flagged(self):
