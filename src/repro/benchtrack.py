@@ -1,0 +1,212 @@
+"""Benchmark trajectory: aggregate results, track baselines, gate CI.
+
+``benchmarks/results/*.json`` holds one machine-readable record per
+benchmark (validated by
+:func:`repro.obs.schema.validate_benchmark_record`).  This module folds
+them into a single canonical trajectory document —
+``BENCH_trajectory.json`` at the repo root — that carries:
+
+- every benchmark's full metric set as last recorded;
+- which of those metrics are *runtime* metrics (wall/mean seconds, the
+  only ones that can regress as the code evolves);
+- a per-benchmark **baseline** for those runtime metrics, carried
+  forward from the previous trajectory so the reference point survives
+  re-recordings until someone deliberately moves it.
+
+The regression gate (``repro bench-track --check``) compares current
+runtime metrics against the baseline and fails when any grew by more
+than ``--max-regression`` (a ratio: 0.5 = +50%).  Improvements never
+fail and, without ``--update-baseline``, never move the baseline either,
+so a lucky fast run cannot ratchet the bar down on the next PR.
+
+Everything here is wall-clock-free: the trajectory is a pure function of
+the result files and the prior trajectory, so re-running it on unchanged
+inputs is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro._version import __version__
+from repro.obs.schema import (
+    BENCH_TRAJECTORY_FORMAT,
+    BENCH_TRAJECTORY_FORMAT_VERSION,
+    validate_bench_trajectory,
+    validate_benchmark_record,
+)
+
+__all__ = [
+    "Regression",
+    "build_trajectory",
+    "find_regressions",
+    "load_results",
+    "load_trajectory",
+    "runtime_metric_keys",
+    "trajectory_json",
+    "write_trajectory",
+]
+
+#: A metric is a runtime metric when its key contains one of these.
+_RUNTIME_PATTERNS = ("wall_s", "mean_ms", "pool_s", "serial_s", "plan_s")
+#: ... unless it states a budget rather than a measurement.
+_BUDGET_PREFIX = "max_allowed"
+
+
+def runtime_metric_keys(metrics: Dict[str, object]) -> List[str]:
+    """The subset of metric keys that measure elapsed time."""
+    return sorted(
+        key
+        for key, value in metrics.items()
+        if not key.startswith(_BUDGET_PREFIX)
+        and not isinstance(value, bool)
+        and isinstance(value, (int, float))
+        and any(pattern in key for pattern in _RUNTIME_PATTERNS)
+    )
+
+
+def load_results(
+    results_dir,
+) -> Tuple[Dict[str, Dict[str, object]], List[str]]:
+    """Load and validate every ``*.json`` benchmark record in a directory.
+
+    Returns ``(records_by_name, problems)``; invalid files are reported
+    and skipped rather than aborting the whole trajectory.
+    """
+    records: Dict[str, Dict[str, object]] = {}
+    problems: List[str] = []
+    for path in sorted(Path(results_dir).glob("*.json")):
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            problems.append(f"{path.name}: unreadable ({exc})")
+            continue
+        record_problems = validate_benchmark_record(record)
+        if record_problems:
+            problems.append(f"{path.name}: " + "; ".join(record_problems))
+            continue
+        name = record["name"]
+        if name in records:
+            problems.append(f"{path.name}: duplicate benchmark name {name!r}")
+            continue
+        records[name] = record
+    return records, problems
+
+
+def build_trajectory(
+    records: Dict[str, Dict[str, object]],
+    previous: Optional[Dict[str, object]] = None,
+    update_baseline: bool = False,
+) -> Dict[str, object]:
+    """Fold benchmark records (+ the prior trajectory) into a new one.
+
+    Baseline policy: a runtime metric's baseline is carried forward from
+    ``previous`` when present; otherwise (new benchmark, new metric, or
+    ``update_baseline``) it is seeded from the current value.
+    """
+    prior_baseline: Dict[str, Dict[str, float]] = {}
+    if previous is not None and not update_baseline:
+        prior_baseline = previous.get("baseline", {})
+
+    benchmarks: Dict[str, object] = {}
+    baseline: Dict[str, Dict[str, float]] = {}
+    for name in sorted(records):
+        metrics = records[name]["metrics"]
+        runtime = runtime_metric_keys(metrics)
+        benchmarks[name] = {
+            "metrics": dict(metrics),
+            "runtime_metrics": runtime,
+        }
+        if not runtime:
+            continue
+        carried = prior_baseline.get(name, {})
+        baseline[name] = {
+            key: float(carried.get(key, metrics[key])) for key in runtime
+        }
+    return {
+        "format": BENCH_TRAJECTORY_FORMAT,
+        "format_version": BENCH_TRAJECTORY_FORMAT_VERSION,
+        "repro_version": __version__,
+        "benchmarks": benchmarks,
+        "baseline": baseline,
+    }
+
+
+class Regression:
+    """One runtime metric that grew past the allowed ratio."""
+
+    def __init__(
+        self,
+        benchmark: str,
+        metric: str,
+        baseline: float,
+        current: float,
+    ):
+        self.benchmark = benchmark
+        self.metric = metric
+        self.baseline = baseline
+        self.current = current
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}.{self.metric}: {self.baseline:g} -> "
+            f"{self.current:g} ({self.ratio:.2f}x)"
+        )
+
+
+def find_regressions(
+    trajectory: Dict[str, object], max_regression: float
+) -> List[Regression]:
+    """Runtime metrics exceeding ``baseline * (1 + max_regression)``."""
+    out: List[Regression] = []
+    baseline = trajectory.get("baseline", {})
+    for name in sorted(baseline):
+        bench = trajectory["benchmarks"].get(name)
+        if bench is None:
+            continue
+        for metric in sorted(baseline[name]):
+            base = baseline[name][metric]
+            current = bench["metrics"].get(metric)
+            if not isinstance(current, (int, float)) or isinstance(
+                current, bool
+            ):
+                continue
+            if base > 0 and current > base * (1.0 + max_regression):
+                out.append(Regression(name, metric, base, float(current)))
+    return out
+
+
+def trajectory_json(trajectory: Dict[str, object]) -> str:
+    """Canonical pretty JSON (stable key order; committed to the repo)."""
+    return json.dumps(trajectory, sort_keys=True, indent=2) + "\n"
+
+
+def write_trajectory(path, trajectory: Dict[str, object]) -> Path:
+    problems = validate_bench_trajectory(trajectory)
+    if problems:
+        raise ValueError(
+            "refusing to write invalid trajectory: " + "; ".join(problems)
+        )
+    out = Path(path)
+    out.write_text(trajectory_json(trajectory), encoding="utf-8")
+    return out
+
+
+def load_trajectory(path) -> Optional[Dict[str, object]]:
+    """The previous trajectory at ``path``, or None when absent/invalid."""
+    target = Path(path)
+    if not target.exists():
+        return None
+    try:
+        previous = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if validate_bench_trajectory(previous):
+        return None
+    return previous

@@ -21,7 +21,13 @@ Subcommands mirror the system's operational surfaces:
   instance and solve it with the optimizer;
 - ``obs``       — inspect / validate observability artifacts (Prometheus
   snapshots, JSONL event and audit streams, Chrome traces) written by
-  ``simulate``/``chaos`` via ``--metrics-out``/``--trace-out`` etc.
+  ``simulate``/``chaos`` via ``--metrics-out``/``--trace-out`` etc.;
+- ``health``    — summarize any run's health artifacts (scorecards,
+  service reports, sweep/tournament JSONL) into per-shard and fleet
+  SLO scorecards;
+- ``bench-track`` — fold ``benchmarks/results/*.json`` into the
+  canonical ``BENCH_trajectory.json`` and gate CI on runtime
+  regressions against the tracked baseline.
 
 Run ``python -m repro <subcommand> --help`` for options.
 """
@@ -71,6 +77,69 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_health_args(
+    parser: argparse.ArgumentParser, rules: bool = True
+) -> None:
+    """Health/SLO artifact flags (``chaos``/``serve``; ``simulate`` gets
+    only the scorecard — oracle runs have no SLO engine)."""
+    group = parser.add_argument_group("health / SLO")
+    group.add_argument(
+        "--health-out", metavar="FILE",
+        help="write the health scorecard (canonical JSON) here",
+    )
+    if rules:
+        group.add_argument(
+            "--alerts-out", metavar="FILE",
+            help="write the SLO alert stream (canonical JSONL) here",
+        )
+        group.add_argument(
+            "--slo-rules", metavar="FILE.json",
+            help="replace the built-in SLO rule set with this JSON list",
+        )
+
+
+def _load_slo_rules(args: argparse.Namespace):
+    """Parsed ``--slo-rules``, or None for the built-in set."""
+    path = getattr(args, "slo_rules", None)
+    if not path:
+        return None
+    from repro.obs import rules_from_json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return rules_from_json(handle.read())
+
+
+def _write_health_artifacts(
+    args: argparse.Namespace, report, note: str = ""
+) -> None:
+    """Flush ``--health-out`` / ``--alerts-out`` from a HealthReport."""
+    from repro.obs import alert_lines_from_report, write_scorecard
+
+    if getattr(args, "health_out", None):
+        write_scorecard(args.health_out, report)
+        print(f"health scorecard: {args.health_out}{note}")
+    if getattr(args, "alerts_out", None):
+        with open(args.alerts_out, "w", encoding="utf-8") as handle:
+            for line in alert_lines_from_report(report):
+                handle.write(line + "\n")
+        print(f"slo alerts: {args.alerts_out}{note}")
+
+
+def _health_summary_line(report) -> str:
+    """One-line fleet health digest for run summaries."""
+    from repro.obs.health import _fmt
+
+    row = report.row()
+    return (
+        f"health: detection p95 {_fmt(row['detection_latency_p95_s'], 's')}, "
+        f"ttm p95 {_fmt(row['ttm_p95_s'], 's')}, "
+        f"false disables {row['false_disables']}, "
+        f"headroom min {_fmt(row['headroom_min'])}, "
+        f"alerts {row['alerts_fired']} "
+        f"-> SLO {'OK' if row['slo_ok'] else 'FIRING'}"
+    )
+
+
 def _wants_obs(args: argparse.Namespace) -> bool:
     return any(
         getattr(args, name, None)
@@ -81,7 +150,7 @@ def _wants_obs(args: argparse.Namespace) -> bool:
     )
 
 
-def _build_obs(command: str, args: argparse.Namespace, seeds, topo):
+def _build_obs(command: str, args: argparse.Namespace, seeds, topo=None):
     """Construct a live recorder stamped with this invocation's manifest."""
     from repro.obs import ObsRecorder, build_manifest
 
@@ -223,6 +292,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"optimizer: {result.optimizer_stats.summary()}")
     if obs.enabled:
         _write_obs_artifacts(obs, args)
+    if args.health_out:
+        from repro.obs import health_from_run_result
+
+        card = health_from_run_result(result)
+        with open(args.health_out, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(card, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+        print(f"health scorecard: {args.health_out} (oracle sensing)")
     return 0
 
 
@@ -401,10 +479,14 @@ def _cmd_chaos_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if _wants_obs(args) or args.audit_out:
+    if (
+        _wants_obs(args) or args.audit_out
+        or args.health_out or args.alerts_out or args.slo_rules
+    ):
         print(
-            "observability artifacts are single-run only; "
-            "drop --seeds/--jobs or the --*-out flags",
+            "observability/health artifacts are single-run only "
+            "(campaign health rides in the sweep JSONL); "
+            "drop --seeds/--jobs or the --*-out/--slo-rules flags",
             file=sys.stderr,
         )
         return 2
@@ -485,6 +567,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         repair_accuracy=args.repair_accuracy,
         seed=args.seed,
         obs=obs,
+        slo_rules=_load_slo_rules(args),
     )
     metrics, chaos = result.metrics, result.chaos
     print(
@@ -522,11 +605,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"capacity violations {chaos.capacity_violations} "
         f"-> {'OK' if result.invariants_ok() else 'VIOLATED'}"
     )
+    if result.health is not None:
+        print(_health_summary_line(result.health))
     if obs.enabled:
         _write_obs_artifacts(obs, args)
     if args.audit_out:
         result.audit.write_jsonl(args.audit_out)
         print(f"audit log: {args.audit_out}")
+    if result.health is not None:
+        _write_health_artifacts(args, result.health)
     return 0 if result.invariants_ok() else 1
 
 
@@ -550,6 +637,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"sim t={header['sim_time_s'] / 3600.0:.1f}h)"
         )
     else:
+        slo_rules_json = None
+        if args.slo_rules:
+            with open(args.slo_rules, "r", encoding="utf-8") as handle:
+                slo_rules_json = handle.read()
         config = ServiceConfig(
             days=args.days,
             scale=args.scale,
@@ -565,6 +656,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             drain_budget=args.drain_budget,
             audit_maxlen=args.audit_maxlen,
+            slo_rules_json=slo_rules_json,
         )
         obs = NULL_RECORDER
         if _wants_obs(args):
@@ -583,6 +675,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("--checkpoint-every requires --checkpoint-dir")
         return 2
 
+    # Live introspection: the CLI owns the server (it must never be
+    # pickled into a checkpoint) and pushes immutable snapshots into it
+    # at every checkpoint boundary via the should_stop probe.
+    server = None
+    if args.http is not None:
+        from repro.service.http import ServiceIntrospectionServer
+
+        server = ServiceIntrospectionServer(port=args.http)
+        port = server.start()
+        server.publish_service(service)
+        print(
+            f"introspection: http://127.0.0.1:{port} "
+            "(/healthz /metrics /slo)"
+        )
+
     # Graceful drain: SIGTERM (and Ctrl-C) finish the current slice, flush
     # one final checkpoint, and exit resumable.
     stop = {"requested": False}
@@ -590,6 +697,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def _request_stop(_signum, _frame):
         stop["requested"] = True
         print("stop requested; draining to the next checkpoint boundary...")
+
+    def _probe() -> bool:
+        if server is not None:
+            server.publish_service(service)
+        return stop["requested"]
 
     previous_handlers = {
         sig: signal.signal(sig, _request_stop)
@@ -600,11 +712,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_every_s=checkpoint_every_s,
             checkpoint_dir=args.checkpoint_dir,
             max_boundaries=args.stop_after_checkpoint,
-            should_stop=lambda: stop["requested"],
+            should_stop=_probe,
         )
+        if server is not None:
+            server.publish_service(
+                service,
+                status="completed" if status.completed else "stopped",
+            )
     finally:
         for sig, handler in previous_handlers.items():
             signal.signal(sig, handler)
+        if server is not None:
+            server.stop()
 
     cfg = service.config
     print(
@@ -623,6 +742,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{status.boundary_index}; resume with "
             f"--resume-from {status.checkpoints[-1]}"
         )
+        # Graceful drain flushes inspection artifacts too — the report
+        # (--out) stays final-only.  HealthTracker.report() is pure, so
+        # a partial scorecard never perturbs the later resume.
+        obs = service.kernel.obs
+        if obs.enabled and _wants_obs(args):
+            _write_obs_artifacts(obs, args)
+        if args.audit_out:
+            service.pipeline.audit.write_jsonl(args.audit_out)
+            print(f"audit log: {args.audit_out} (partial)")
+        if args.health_out or args.alerts_out:
+            _write_health_artifacts(
+                args,
+                service.pipeline.health.report(complete=False),
+                note=" (partial)",
+            )
         return 0
 
     result = status.result
@@ -653,6 +787,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"capacity violations {chaos.capacity_violations} "
         f"-> {'OK' if result.invariants_ok() else 'VIOLATED'}"
     )
+    if result.health is not None:
+        print(_health_summary_line(result.health))
     if args.out:
         service.write_report(args.out, result)
         print(f"service report: {args.out}")
@@ -662,6 +798,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.audit_out:
         service.pipeline.audit.write_jsonl(args.audit_out)
         print(f"audit log: {args.audit_out}")
+    if result.health is not None:
+        _write_health_artifacts(args, result.health)
     return 0 if result.invariants_ok() else 1
 
 
@@ -751,23 +889,80 @@ def _print_audit(lines: List[str], limit: int) -> None:
 
 
 def _print_metrics_summary(text: str) -> None:
+    import math
+    import re
+
     families = {"counter": 0, "gauge": 0, "histogram": 0}
     samples = 0
+    hist_names: set = set()
+    # name -> {"buckets": {le_str: summed cumulative count}, "sum", "count"}
+    hists: dict = {}
+    bucket_re = re.compile(r'le="([^"]*)"')
     for line in text.splitlines():
         if line.startswith("# TYPE "):
-            kind = line.split()[3]
+            parts = line.split()
+            kind = parts[3]
             if kind in families:
                 families[kind] += 1
+            if kind == "histogram":
+                hist_names.add(parts[2])
         elif line.startswith("# repro-version:") or line.startswith(
             "# sim-time-s:"
         ) or line.startswith("# topology-digest:"):
             print(line[2:])
         elif line and not line.startswith("#"):
             samples += 1
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            value = line.rsplit(" ", 1)[1]
+            for base in hist_names:
+                if name == f"{base}_bucket":
+                    match = bucket_re.search(line)
+                    if match:
+                        hist = hists.setdefault(
+                            base, {"buckets": {}, "sum": 0.0, "count": 0}
+                        )
+                        le = match.group(1)
+                        hist["buckets"][le] = (
+                            hist["buckets"].get(le, 0) + int(float(value))
+                        )
+                elif name == f"{base}_sum":
+                    hist = hists.setdefault(
+                        base, {"buckets": {}, "sum": 0.0, "count": 0}
+                    )
+                    hist["sum"] += float(value)
+                elif name == f"{base}_count":
+                    hist = hists.setdefault(
+                        base, {"buckets": {}, "sum": 0.0, "count": 0}
+                    )
+                    hist["count"] += int(float(value))
     print(
         f"families: {families['counter']} counters, {families['gauge']} "
         f"gauges, {families['histogram']} histograms; {samples} samples"
     )
+    for name in sorted(hists):
+        hist = hists[name]
+        count = hist["count"]
+        if not count:
+            continue
+        # Buckets are cumulative per label-set; summing them across
+        # label-sets keeps them cumulative (every set shares the grid).
+        buckets = sorted(
+            hist["buckets"].items(),
+            key=lambda kv: float("inf") if kv[0] == "+Inf" else float(kv[0]),
+        )
+
+        def _quantile_le(q: float) -> str:
+            rank = min(count, max(1, math.ceil(q * count)))
+            for le, cum in buckets:
+                if cum >= rank:
+                    return le
+            return "+Inf"
+
+        print(
+            f"  {name}: n={count} sum={hist['sum']:.6g} "
+            f"p50<={_quantile_le(0.5)} p95<={_quantile_le(0.95)} "
+            f"p99<={_quantile_le(0.99)}"
+        )
 
 
 def _print_events_summary(lines: List[str]) -> None:
@@ -828,12 +1023,156 @@ def _print_sweep_summary(lines: List[str]) -> None:
             )
 
 
+def _print_alerts_summary(lines: List[str]) -> None:
+    header = json.loads(lines[0]) if lines else {}
+    alerts = [json.loads(line) for line in lines[1:] if line.strip()]
+    print(
+        f"slo alerts: repro {header.get('repro_version', '?')}, "
+        f"{len(header.get('rules', []))} rules, "
+        f"{header.get('alerts', len(alerts))} transitions"
+    )
+    by_rule: dict = {}
+    for alert in alerts:
+        key = (alert.get("rule"), alert.get("severity"))
+        by_rule[key] = by_rule.get(key, 0) + 1
+    for (rule, severity), count in sorted(by_rule.items()):
+        print(f"  {rule} [{severity}]: {count} transition(s)")
+    for alert in alerts[-5:]:
+        hours = alert.get("sim_time_s", 0.0) / 3600.0
+        print(
+            f"  t={hours:8.2f}h  {alert.get('state', '?'):<8} "
+            f"{alert.get('rule', '?')} "
+            f"({alert.get('indicator')}={alert.get('value')} "
+            f"{alert.get('op')} {alert.get('threshold')})"
+        )
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Summarize health artifacts into per-shard / fleet scorecards."""
+    from repro.obs import (
+        aggregate_sweep_health,
+        summarize_scorecard,
+        validate_health_scorecard,
+    )
+
+    if not any((args.scorecard, args.service_report, args.sweep)):
+        print(
+            "nothing to summarize: pass --scorecard/--service-report/--sweep"
+        )
+        return 2
+    exit_code = 0
+    if args.scorecard:
+        with open(args.scorecard, "r", encoding="utf-8") as handle:
+            card = json.load(handle)
+        problems = validate_health_scorecard(card)
+        if problems:
+            print(f"{args.scorecard}: INVALID ({len(problems)} problem(s))")
+            for problem in problems:
+                print(f"  {problem}")
+            exit_code = 1
+        elif args.json:
+            print(json.dumps(card, sort_keys=True, separators=(",", ":")))
+        else:
+            for line in summarize_scorecard(card):
+                print(line)
+    if args.service_report:
+        from repro.obs.health import _fmt
+
+        lines = _read_lines(args.service_report)
+        health = None
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "result":
+                health = record.get("health")
+                break
+        if health is None:
+            print(f"{args.service_report}: no health block in result row")
+            exit_code = 1
+        elif args.json:
+            print(json.dumps(health, sort_keys=True, separators=(",", ":")))
+        else:
+            print(f"service health ({args.service_report}):")
+            for key in sorted(health):
+                print(f"  {key}: {_fmt(health[key])}")
+    if args.sweep:
+        lines = _read_lines(args.sweep)
+        rows = [
+            record
+            for record in (
+                json.loads(line) for line in lines[1:] if line.strip()
+            )
+            if record.get("status") == "ok"
+        ]
+        summary = aggregate_sweep_health(rows)
+        if args.json:
+            print(json.dumps(summary, sort_keys=True, separators=(",", ":")))
+        else:
+            print(
+                f"sweep health ({args.sweep}): "
+                f"{summary.get('jobs_with_health', 0)}/{summary['jobs']} "
+                "jobs carry health blocks"
+            )
+            for key in sorted(summary):
+                value = summary[key]
+                if isinstance(value, dict):
+                    print(
+                        f"  {key}: min {value['min']:.6g} "
+                        f"mean {value['mean']:.6g} max {value['max']:.6g}"
+                    )
+                elif key not in ("jobs", "jobs_with_health"):
+                    print(f"  {key}: {value}")
+    return exit_code
+
+
+def _cmd_bench_track(args: argparse.Namespace) -> int:
+    """Aggregate benchmark results and gate on runtime regressions."""
+    from repro import benchtrack
+
+    records, problems = benchtrack.load_results(args.results_dir)
+    if problems:
+        print(f"benchmark records: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+    if not records:
+        print(f"no benchmark records in {args.results_dir}")
+        return 2
+    previous = benchtrack.load_trajectory(args.out)
+    trajectory = benchtrack.build_trajectory(
+        records, previous, update_baseline=args.update_baseline
+    )
+    tracked = sum(len(v) for v in trajectory["baseline"].values())
+    print(
+        f"trajectory: {len(records)} benchmarks, "
+        f"{tracked} tracked runtime metrics "
+        f"({'baseline reset' if args.update_baseline else 'baseline carried'})"
+    )
+    if args.check:
+        regressions = benchtrack.find_regressions(
+            trajectory, args.max_regression
+        )
+        if regressions:
+            print(
+                f"regression gate: FAILED — {len(regressions)} metric(s) "
+                f"grew more than {args.max_regression:.0%} over baseline"
+            )
+            for regression in regressions:
+                print(f"  {regression.describe()}")
+            return 1
+        print(f"regression gate: OK (allowed +{args.max_regression:.0%})")
+    benchtrack.write_trajectory(args.out, trajectory)
+    print(f"bench trajectory: {args.out}")
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import (
+        summarize_scorecard,
+        validate_alerts_jsonl,
         validate_audit_jsonl,
         validate_checkpoint_file,
         validate_chrome_trace,
         validate_events_jsonl,
+        validate_health_scorecard,
         validate_prometheus_text,
         validate_service_report_jsonl,
         validate_sweep_jsonl,
@@ -841,11 +1180,11 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
     if not any(
         (args.audit, args.metrics, args.events, args.trace, args.sweep,
-         args.checkpoint, args.service_report)
+         args.checkpoint, args.service_report, args.health, args.alerts)
     ):
         print(
             "nothing to inspect: pass --audit/--metrics/--events/--trace/"
-            "--sweep/--checkpoint/--service-report"
+            "--sweep/--checkpoint/--service-report/--health/--alerts"
         )
         return 2
 
@@ -897,6 +1236,20 @@ def _cmd_obs(args: argparse.Namespace) -> int:
                 )
             else:
                 print(f"checkpoint {path}: INVALID ({len(found)} problem(s))")
+    if args.health:
+        with open(args.health, "r", encoding="utf-8") as handle:
+            card = json.load(handle)
+        if args.validate:
+            problems += [f"{args.health}: {p}" for p in
+                         validate_health_scorecard(card)]
+        for line in summarize_scorecard(card):
+            print(line)
+    if args.alerts:
+        lines = _read_lines(args.alerts)
+        if args.validate:
+            problems += [f"{args.alerts}: {p}" for p in
+                         validate_alerts_jsonl(lines)]
+        _print_alerts_summary(lines)
     if args.service_report:
         lines = _read_lines(args.service_report)
         if args.validate:
@@ -980,6 +1333,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --strategies comparison (0 = all CPUs)",
     )
     _add_obs_args(sim)
+    _add_health_args(sim, rules=False)
     sim.set_defaults(func=_cmd_simulate, audit_out=None)
 
     sweep = sub.add_parser(
@@ -1136,6 +1490,7 @@ def build_parser() -> argparse.ArgumentParser:
              "byte-identical across --jobs values",
     )
     _add_obs_args(chaos)
+    _add_health_args(chaos)
     chaos.add_argument(
         "--audit-out", metavar="FILE",
         help="write the controller audit log as JSONL here",
@@ -1197,9 +1552,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--out", metavar="FILE.jsonl",
                        help="write the canonical service report here")
     _add_obs_args(serve)
+    _add_health_args(serve)
     serve.add_argument(
         "--audit-out", metavar="FILE",
         help="write the controller audit log as JSONL here",
+    )
+    serve.add_argument(
+        "--http", type=int, default=None, metavar="PORT",
+        help="serve live introspection (/healthz /metrics /slo) on "
+             "127.0.0.1:PORT while running (0 = ephemeral port)",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -1240,6 +1601,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="repro serve report JSONL",
     )
     obs.add_argument(
+        "--health", metavar="FILE",
+        help="health scorecard JSON (from --health-out)",
+    )
+    obs.add_argument(
+        "--alerts", metavar="FILE",
+        help="SLO alert stream JSONL (from --alerts-out)",
+    )
+    obs.add_argument(
         "--validate", action="store_true",
         help="check every given file against its schema (exit 1 on problems)",
     )
@@ -1248,6 +1617,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit entries to show (0 = all)",
     )
     obs.set_defaults(func=_cmd_obs)
+
+    health = sub.add_parser(
+        "health",
+        help="summarize run health artifacts into SLO scorecards",
+    )
+    health.add_argument(
+        "--scorecard", metavar="FILE",
+        help="health scorecard JSON (from --health-out)",
+    )
+    health.add_argument(
+        "--service-report", metavar="FILE",
+        help="repro serve report JSONL (uses its result health row)",
+    )
+    health.add_argument(
+        "--sweep", metavar="FILE",
+        help="sweep/tournament/campaign JSONL; aggregates per-job "
+             "health blocks fleet-wide",
+    )
+    health.add_argument(
+        "--json", action="store_true",
+        help="emit canonical JSON instead of the human summary",
+    )
+    health.set_defaults(func=_cmd_health)
+
+    bench = sub.add_parser(
+        "bench-track",
+        help="aggregate benchmark results into the canonical trajectory",
+    )
+    bench.add_argument(
+        "--results-dir", default="benchmarks/results", metavar="DIR",
+        help="directory of machine-readable benchmark records",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_trajectory.json", metavar="FILE",
+        help="trajectory file to read the baseline from and rewrite",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="fail (exit 1, trajectory untouched) when any runtime "
+             "metric regressed past --max-regression",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.5, metavar="RATIO",
+        help="allowed runtime growth over baseline (0.5 = +50%%)",
+    )
+    bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="reset every baseline to the current values",
+    )
+    bench.set_defaults(func=_cmd_bench_track)
 
     return parser
 

@@ -129,6 +129,10 @@ class OnsetDebouncer:
     def is_confirmed(self, link_id: LinkId) -> bool:
         return self._confirmed.get(link_id, False)
 
+    def confirmed_count(self) -> int:
+        """Links currently holding a confirmed onset."""
+        return sum(1 for v in self._confirmed.values() if v)
+
     def clear(self, link_id: LinkId) -> None:
         """Reset a link's debounce state (rate fell below the watermark,
         or the link was repaired)."""

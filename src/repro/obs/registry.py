@@ -12,6 +12,7 @@ both sim time and provenance headers at write time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -68,6 +69,26 @@ class Histogram:
         running += self.counts[-1]
         out.append(("+Inf", running))
         return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile as a bucket upper bound.
+
+        Prometheus-style: the answer is the smallest bucket bound whose
+        cumulative count reaches rank ``ceil(q * count)`` — an upper
+        bound on the true quantile, ``inf`` when it falls in the
+        overflow bucket, ``None`` for an empty histogram.
+        """
+        if self.count == 0:
+            return None
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q outside (0, 1]")
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        running = 0
+        for upper, n in zip(self.buckets, self.counts):
+            running += n
+            if running >= rank:
+                return float(upper)
+        return float("inf")
 
 
 @dataclass

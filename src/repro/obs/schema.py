@@ -237,6 +237,52 @@ def _chaos_row_problems(chaos: object, lineno: int) -> List[str]:
     return problems
 
 
+#: Keys of the compact per-run health block (HealthReport.row()) with
+#: their expected shapes: int counters, numeric-or-null latencies,
+#: numeric rates, one boolean verdict.
+_HEALTH_ROW_INT_KEYS = (
+    "detections",
+    "detection_pending",
+    "false_disables",
+    "quarantine_peak",
+    "alerts_fired",
+)
+_HEALTH_ROW_OPTIONAL_NUM_KEYS = (
+    "detection_latency_p50_s",
+    "detection_latency_p95_s",
+    "ttm_p50_s",
+    "ttm_p95_s",
+    "headroom_min",
+)
+_HEALTH_ROW_NUM_KEYS = ("false_disable_rate", "breaker_open_duty")
+
+
+def _health_row_problems(health: object, where: str) -> List[str]:
+    """Problems with one compact ``health`` block (empty list = valid)."""
+    if not isinstance(health, dict):
+        return [f"{where}: 'health' is not an object"]
+    problems: List[str] = []
+    for key in _HEALTH_ROW_INT_KEYS:
+        value = health.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(f"{where}: health missing integer {key!r}")
+    for key in _HEALTH_ROW_OPTIONAL_NUM_KEYS:
+        value = health.get(key)
+        if value is not None and (
+            not isinstance(value, (int, float)) or isinstance(value, bool)
+        ):
+            problems.append(
+                f"{where}: health {key!r} must be numeric or null"
+            )
+    for key in _HEALTH_ROW_NUM_KEYS:
+        value = health.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{where}: health missing numeric {key!r}")
+    if not isinstance(health.get("slo_ok"), bool):
+        problems.append(f"{where}: health missing boolean 'slo_ok'")
+    return problems
+
+
 def _leaderboard_row_problems(record: Dict, lineno: int) -> List[str]:
     """Problems with one ``type="leaderboard"`` tournament row."""
     problems: List[str] = []
@@ -344,6 +390,11 @@ def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
             if record.get("spec", {}).get("kind") == "chaos":
                 problems.extend(
                     _chaos_row_problems(record.get("chaos"), lineno)
+                )
+                problems.extend(
+                    _health_row_problems(
+                        record.get("health"), f"line {lineno}"
+                    )
                 )
         elif status == "failed":
             error = record.get("error")
@@ -516,6 +567,9 @@ def validate_service_report_jsonl(lines: Sequence[str]) -> List[str]:
                 problems.append(
                     f"line {lineno}: missing audit.evicted_decisions"
                 )
+            problems.extend(
+                _health_row_problems(record.get("health"), f"line {lineno}")
+            )
         elif kind == "shard":
             if record.get("shard") != shards_seen:
                 problems.append(
@@ -570,4 +624,232 @@ def validate_benchmark_record(record: object) -> List[str]:
         for key, value in metrics.items():
             if not isinstance(value, (int, float, bool)):
                 problems.append(f"metrics[{key!r}] is not numeric")
+    return problems
+
+
+#: Health/SLO literals, pinned against :mod:`repro.obs.health` and
+#: :mod:`repro.obs.slo` by the health tests.
+HEALTH_FORMAT = "repro-health-scorecard"
+HEALTH_FORMAT_VERSION = 1
+ALERTS_FORMAT = "repro-health-alerts"
+ALERTS_FORMAT_VERSION = 1
+
+
+def validate_health_scorecard(obj: object) -> List[str]:
+    """Problems with a health scorecard object (empty list = valid)."""
+    if not isinstance(obj, dict):
+        return ["scorecard is not a JSON object"]
+    problems: List[str] = []
+    if obj.get("format") != HEALTH_FORMAT:
+        problems.append(f"wrong or missing 'format' {obj.get('format')!r}")
+    if obj.get("format_version") != HEALTH_FORMAT_VERSION:
+        problems.append(
+            f"unsupported 'format_version' {obj.get('format_version')!r}"
+        )
+    if not obj.get("repro_version"):
+        problems.append("missing 'repro_version'")
+    sensing = obj.get("sensing")
+    if sensing not in ("telemetry", "oracle"):
+        problems.append(f"bad 'sensing' {sensing!r}")
+    if not isinstance(obj.get("complete"), bool):
+        problems.append("missing boolean 'complete'")
+    if not isinstance(obj.get("end_s"), (int, float)):
+        problems.append("missing numeric 'end_s'")
+    fleet = obj.get("fleet")
+    if not isinstance(fleet, dict):
+        problems.append("missing object 'fleet'")
+    elif sensing == "telemetry":
+        for section in (
+            "detection",
+            "mitigation",
+            "disables",
+            "penalty",
+            "capacity",
+            "quarantine",
+            "breaker",
+            "debounce",
+        ):
+            if not isinstance(fleet.get(section), dict):
+                problems.append(f"fleet missing object {section!r}")
+        detection = fleet.get("detection")
+        if isinstance(detection, dict):
+            for key in ("count", "pending", "overdue"):
+                value = detection.get(key)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    problems.append(
+                        f"fleet.detection missing integer {key!r}"
+                    )
+        disables = fleet.get("disables")
+        if isinstance(disables, dict):
+            rate = disables.get("false_rate")
+            if not isinstance(rate, (int, float)) or isinstance(rate, bool):
+                problems.append("fleet.disables missing numeric 'false_rate'")
+    shards = obj.get("shards")
+    if not isinstance(shards, list):
+        problems.append("missing list 'shards'")
+    else:
+        for index, shard in enumerate(shards):
+            if not isinstance(shard, dict) or shard.get("shard") != index:
+                problems.append(f"shards[{index}]: bad or out-of-order row")
+    links = obj.get("links")
+    if not isinstance(links, list):
+        problems.append("missing list 'links'")
+    else:
+        for index, link in enumerate(links):
+            if not isinstance(link, dict) or not isinstance(
+                link.get("link"), str
+            ):
+                problems.append(f"links[{index}]: missing string 'link'")
+            elif not isinstance(link.get("onset_s"), (int, float)):
+                problems.append(f"links[{index}]: missing numeric 'onset_s'")
+    if not isinstance(obj.get("links_omitted"), int):
+        problems.append("missing integer 'links_omitted'")
+    slo = obj.get("slo")
+    if not isinstance(slo, dict):
+        problems.append("missing object 'slo'")
+    else:
+        if not isinstance(slo.get("rules"), list):
+            problems.append("slo missing list 'rules'")
+        if not isinstance(slo.get("alerts"), list):
+            problems.append("slo missing list 'alerts'")
+        elif slo.get("alerts_fired") != len(slo["alerts"]):
+            problems.append(
+                "slo.alerts_fired disagrees with len(slo.alerts)"
+            )
+        if not isinstance(slo.get("ok"), bool):
+            problems.append("slo missing boolean 'ok'")
+        for index, rule in enumerate(slo.get("rules") or []):
+            if not isinstance(rule, dict) or rule.get("state") not in (
+                "ok",
+                "firing",
+            ):
+                problems.append(f"slo.rules[{index}]: bad 'state'")
+    return problems
+
+
+def validate_alerts_jsonl(lines: Sequence[str]) -> List[str]:
+    """Problems with an SLO alert stream (empty list = valid)."""
+    problems: List[str] = []
+    if not lines:
+        return ["empty stream"]
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        return [f"line 1: invalid JSON ({exc})"]
+    declared_alerts = None
+    if not isinstance(header, dict) or header.get("type") != "header":
+        problems.append("line 1: first record must have type 'header'")
+    else:
+        if header.get("format") != ALERTS_FORMAT:
+            problems.append("line 1: wrong or missing 'format'")
+        if header.get("format_version") != ALERTS_FORMAT_VERSION:
+            problems.append("line 1: unsupported 'format_version'")
+        if not header.get("repro_version"):
+            problems.append("line 1: missing 'repro_version'")
+        if not isinstance(header.get("rules"), list):
+            problems.append("line 1: missing list 'rules'")
+        declared_alerts = header.get("alerts")
+        if not isinstance(declared_alerts, int):
+            problems.append("line 1: missing integer 'alerts'")
+            declared_alerts = None
+
+    alerts_seen = 0
+    last_time = None
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: invalid JSON ({exc})")
+            continue
+        if not isinstance(record, dict) or record.get("type") != "alert":
+            problems.append(f"line {lineno}: not an alert record")
+            continue
+        alerts_seen += 1
+        time_s = record.get("sim_time_s")
+        if not isinstance(time_s, (int, float)):
+            problems.append(f"line {lineno}: missing numeric 'sim_time_s'")
+        elif last_time is not None and time_s < last_time:
+            problems.append(f"line {lineno}: alerts out of event-time order")
+        else:
+            last_time = time_s
+        if not isinstance(record.get("rule"), str):
+            problems.append(f"line {lineno}: missing string 'rule'")
+        if record.get("state") not in ("firing", "resolved"):
+            problems.append(
+                f"line {lineno}: bad state {record.get('state')!r}"
+            )
+        if record.get("severity") not in ("info", "warning", "critical"):
+            problems.append(
+                f"line {lineno}: bad severity {record.get('severity')!r}"
+            )
+        value = record.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"line {lineno}: missing numeric 'value'")
+    if declared_alerts is not None and alerts_seen != declared_alerts:
+        problems.append(
+            f"header says alerts={declared_alerts} but stream has "
+            f"{alerts_seen} alert rows"
+        )
+    return problems
+
+
+#: Benchmark-trajectory literals, pinned against :mod:`repro.benchtrack`.
+BENCH_TRAJECTORY_FORMAT = "repro-bench-trajectory"
+BENCH_TRAJECTORY_FORMAT_VERSION = 1
+
+
+def validate_bench_trajectory(obj: object) -> List[str]:
+    """Problems with a benchmark trajectory file (empty list = valid)."""
+    if not isinstance(obj, dict):
+        return ["trajectory is not a JSON object"]
+    problems: List[str] = []
+    if obj.get("format") != BENCH_TRAJECTORY_FORMAT:
+        problems.append(f"wrong or missing 'format' {obj.get('format')!r}")
+    if obj.get("format_version") != BENCH_TRAJECTORY_FORMAT_VERSION:
+        problems.append(
+            f"unsupported 'format_version' {obj.get('format_version')!r}"
+        )
+    if not obj.get("repro_version"):
+        problems.append("missing 'repro_version'")
+    benchmarks = obj.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        problems.append("missing non-empty object 'benchmarks'")
+        benchmarks = {}
+    for name, entry in benchmarks.items():
+        where = f"benchmarks[{name!r}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            problems.append(f"{where}: missing non-empty 'metrics'")
+            continue
+        for key, value in metrics.items():
+            if not isinstance(value, (int, float, bool)):
+                problems.append(f"{where}: metrics[{key!r}] is not numeric")
+        runtime = entry.get("runtime_metrics")
+        if not isinstance(runtime, list):
+            problems.append(f"{where}: missing list 'runtime_metrics'")
+        else:
+            for key in runtime:
+                if key not in metrics:
+                    problems.append(
+                        f"{where}: runtime metric {key!r} not in metrics"
+                    )
+    baseline = obj.get("baseline")
+    if not isinstance(baseline, dict):
+        problems.append("missing object 'baseline'")
+    else:
+        for name, entry in baseline.items():
+            where = f"baseline[{name!r}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where}: not an object")
+                continue
+            for key, value in entry.items():
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    problems.append(f"{where}: {key!r} is not numeric")
     return problems

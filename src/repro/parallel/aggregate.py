@@ -103,6 +103,8 @@ def record_row(
                 "quarantine_violations": chaos.quarantine_violations,
                 "capacity_violations": chaos.capacity_violations,
             }
+        if result.health is not None:
+            row["health"] = result.health.row()
     if record.ok and record.payload is not None:
         row["payload"] = dict(record.payload)
     if not record.ok:

@@ -299,6 +299,8 @@ def _execute_chaos(
     result.sanitizer_stats = dict(vars(result.sanitizer_stats))
     result.audit = None
     result.controller_log = None
+    # result.health stays: a bounded HealthReport whose compact row()
+    # becomes the sweep row's "health" block.
     return JobRecord(
         spec=spec,
         status="ok",

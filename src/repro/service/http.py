@@ -1,0 +1,182 @@
+"""Live introspection endpoint for ``repro serve``.
+
+A tiny threaded HTTP server exposing three read-only views of a running
+:class:`~repro.service.service.ControllerService`:
+
+- ``/healthz`` — liveness JSON: status, event-time progress, boundary
+  index, shard count, and whether any SLO rule is firing;
+- ``/metrics`` — Prometheus exposition text (the live obs registry when
+  the run is instrumented, otherwise a minimal registry built from the
+  health indicators);
+- ``/slo``     — rule states, recent alert transitions, and the current
+  fleet health snapshot as JSON.
+
+Design constraint: the service object graph is pickled whole at every
+checkpoint boundary, so the HTTP server must never become part of it.
+The CLI owns the server and pushes immutable snapshots into it via
+:meth:`ServiceIntrospectionServer.publish_service` — called before the
+run starts, at every checkpoint boundary (piggybacked on the
+``should_stop`` probe), and once more after the drain.  Handlers serve
+the last published snapshot; a publish swaps one attribute reference,
+so no locks are needed and the simulation never blocks on a scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro._version import __version__
+from repro.obs.exporters import prometheus_text
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["ServiceIntrospectionServer"]
+
+#: Alert transitions shown by ``/slo`` (the full stream lives in
+#: ``--alerts-out``).
+RECENT_ALERTS = 100
+
+
+def _health_metrics_text(row: Dict[str, object]) -> str:
+    """A minimal Prometheus snapshot from a compact health row (used when
+    the run is not instrumented with a live recorder)."""
+    registry = MetricsRegistry()
+    for key, value in row.items():
+        if isinstance(value, bool):
+            registry.set_gauge(f"health_{key}", 1.0 if value else 0.0)
+        elif isinstance(value, (int, float)):
+            registry.set_gauge(f"health_{key}", float(value))
+    return prometheus_text(registry)
+
+
+class _Snapshot:
+    """One immutable published state (handlers read, publisher swaps)."""
+
+    def __init__(self, healthz: bytes, metrics: bytes, slo: bytes):
+        self.healthz = healthz
+        self.metrics = metrics
+        self.slo = slo
+
+
+def _canonical_bytes(obj) -> bytes:
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_Server"
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        snapshot = self.server.snapshot
+        path = self.path.split("?", 1)[0]
+        if snapshot is None:
+            self._send(
+                503,
+                "application/json",
+                _canonical_bytes({"error": "no snapshot published yet"}),
+            )
+        elif path == "/healthz":
+            self._send(200, "application/json", snapshot.healthz)
+        elif path == "/metrics":
+            self._send(
+                200, "text/plain; version=0.0.4; charset=utf-8",
+                snapshot.metrics,
+            )
+        elif path == "/slo":
+            self._send(200, "application/json", snapshot.slo)
+        else:
+            self._send(
+                404,
+                "application/json",
+                _canonical_bytes(
+                    {"error": f"unknown path {path!r}",
+                     "paths": ["/healthz", "/metrics", "/slo"]}
+                ),
+            )
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep the CLI's stdout deterministic
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    snapshot: Optional[_Snapshot] = None
+
+
+class ServiceIntrospectionServer:
+    """Owns the listener thread and the published snapshot."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._server = _Server((host, port), _Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> int:
+        """Serve in a daemon thread; returns the bound port."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-introspection",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- publishing ------------------------------------------------------ #
+
+    def publish_service(self, service, status: str = "running") -> None:
+        """Snapshot a live service (event-time state only) and swap it in."""
+        tracker = service.pipeline.health
+        kernel = service.kernel
+        report = tracker.report(end_s=tracker.last_poll_s, complete=False)
+        row = report.row()
+        firing = report.firing()
+        healthz = {
+            "status": status,
+            "repro_version": __version__,
+            "sim_time_s": tracker.last_poll_s,
+            "duration_s": kernel.duration_s,
+            "events_pending": kernel.events_pending(),
+            "boundary_index": service.boundary_index,
+            "shards": len(service.pipeline.shards),
+            "slo_ok": not firing,
+            "firing": firing,
+        }
+        slo = {
+            "rules": report.slo_rules,
+            "alerts_fired": len(report.alerts),
+            "recent_alerts": report.alerts[-RECENT_ALERTS:],
+            "fleet": report.fleet,
+            "shards": report.shards,
+        }
+        obs = kernel.obs
+        if obs.enabled:
+            metrics = prometheus_text(
+                obs.registry, obs.manifest, obs.sim_time_s
+            ).encode("utf-8")
+        else:
+            metrics = _health_metrics_text(row).encode("utf-8")
+        self._server.snapshot = _Snapshot(
+            healthz=_canonical_bytes(healthz),
+            metrics=metrics,
+            slo=_canonical_bytes(slo),
+        )

@@ -27,8 +27,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro._version import __version__
 from repro.core.controller import ControllerLog, CorrOptController
-from repro.core.resilience import CircuitBreaker, OnsetDebouncer
+from repro.core.resilience import BreakerState, CircuitBreaker, OnsetDebouncer
 from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.obs.slo import rules_from_json
 from repro.parallel.aggregate import series_digest
 from repro.service.checkpoint import read_checkpoint
 from repro.service.checkpoint import write_checkpoint as _write_checkpoint
@@ -101,6 +102,13 @@ class ServiceConfig:
     drain_budget: Optional[int] = None
     audit_maxlen: int = 1024
     max_decisions: int = 4096
+    #: Custom SLO rules as a canonical JSON string (a string keeps the
+    #: config hashable and checkpoint-serializable); ``None`` uses
+    #: :data:`~repro.obs.slo.DEFAULT_SLO_RULES`.
+    slo_rules_json: Optional[str] = None
+    #: Event-time period for publishing health snapshots into the obs
+    #: stream (gauges + a ``health_snapshot`` event).
+    health_snapshot_every_s: float = 3600.0
 
     def to_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -132,6 +140,13 @@ class ServiceConfig:
             problems.append("drain_budget must be >= 1 (or None)")
         if self.audit_maxlen < 1:
             problems.append("audit_maxlen must be >= 1")
+        if self.health_snapshot_every_s <= 0:
+            problems.append("health_snapshot_every_s must be > 0")
+        if self.slo_rules_json is not None:
+            try:
+                rules_from_json(self.slo_rules_json)
+            except (ValueError, TypeError) as exc:
+                problems.append(f"slo_rules_json: {exc}")
         if problems:
             raise ValueError("; ".join(problems))
 
@@ -181,6 +196,8 @@ class ServiceSensing(TelemetrySensing):
         queue_policy: str = "defer",
         batch_size: int = 64,
         drain_budget: Optional[int] = None,
+        slo_rules=None,
+        health_snapshot_every_s: float = 3600.0,
     ):
         super().__init__(
             trace,
@@ -192,6 +209,8 @@ class ServiceSensing(TelemetrySensing):
             debounce_confirm=debounce_confirm,
             max_decisions=max_decisions,
             audit_maxlen=audit_maxlen,
+            slo_rules=slo_rules,
+            health_snapshot_every_s=health_snapshot_every_s,
         )
         self.queue_capacity = queue_capacity
         self.queue_policy = queue_policy
@@ -250,6 +269,24 @@ class ServiceSensing(TelemetrySensing):
     def _controller_for(self, link_id: LinkId) -> CorrOptController:
         return self.controllers[self.router.shard_of(link_id)]
 
+    # -- health wiring --------------------------------------------------- #
+
+    def _num_shards(self) -> int:
+        return len(self.shards)
+
+    def _health_router(self):
+        return self.router
+
+    def _health_components(self):
+        return [
+            (
+                shard.index,
+                1 if c.optimizer_breaker.state is BreakerState.OPEN else 0,
+                c.debouncer.confirmed_count(),
+            )
+            for shard, c in zip(self.shards, self.controllers)
+        ]
+
     # -- run end --------------------------------------------------------- #
 
     def merged_controller_log(self) -> ControllerLog:
@@ -307,6 +344,7 @@ class ServiceSensing(TelemetrySensing):
         obs.gauge(
             "service_backpressure_losses", self.poller.backpressure_losses
         )
+        self._publish_health(self.kernel.duration_s)
 
     def result_sections(self) -> Dict[str, object]:
         sections = super().result_sections()
@@ -364,6 +402,11 @@ class ControllerService:
                 config.chaos_preset, seed=config.fault_seed
             )
         self.topo = self.scenario.topo_factory()
+        slo_rules = (
+            rules_from_json(config.slo_rules_json)
+            if config.slo_rules_json is not None
+            else None
+        )
         self.pipeline = ServiceSensing(
             self.scenario.trace,
             self.scenario.constraint(),
@@ -378,6 +421,8 @@ class ControllerService:
             queue_policy=config.queue_policy,
             batch_size=config.batch_size,
             drain_budget=config.drain_budget,
+            slo_rules=slo_rules,
+            health_snapshot_every_s=config.health_snapshot_every_s,
         )
         self.kernel = SimulationKernel(
             self.topo,
@@ -538,6 +583,9 @@ class ControllerService:
                 "evicted_decisions": pipeline.audit.evicted,
                 "counts": dict(sorted(pipeline.audit.counts.items())),
             },
+            "health": (
+                result.health.row() if result.health is not None else None
+            ),
         }
         rows = [header, result_row]
         for shard, controller in zip(pipeline.shards, pipeline.controllers):

@@ -87,6 +87,7 @@ class ChaosSimulation:
         debounce_confirm: int = 2,
         max_decisions: int = 4096,
         audit_maxlen: int = 1024,
+        slo_rules=None,
         obs: Recorder = NULL_RECORDER,
     ):
         self.scenario = scenario
@@ -101,6 +102,7 @@ class ChaosSimulation:
             debounce_confirm=debounce_confirm,
             max_decisions=max_decisions,
             audit_maxlen=audit_maxlen,
+            slo_rules=slo_rules,
         )
         self.kernel = SimulationKernel(
             self.topo,

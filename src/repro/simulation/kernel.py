@@ -51,8 +51,14 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.core.controller import CorrOptController
 from repro.core.path_counting import PathCounter
 from repro.core.penalty import PenaltyFn, linear_penalty
-from repro.core.resilience import AuditLog, CircuitBreaker, OnsetDebouncer
+from repro.core.resilience import (
+    AuditLog,
+    BreakerState,
+    CircuitBreaker,
+    OnsetDebouncer,
+)
 from repro.faults.telemetry_faults import FaultyTransport, TelemetryFaultConfig
+from repro.obs.health import HealthTracker
 from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.simulation.metrics import ChaosMetrics, SimulationMetrics
 from repro.simulation.results import RunResult
@@ -602,6 +608,8 @@ class TelemetrySensing(SensingPipeline):
         debounce_confirm: int = 2,
         max_decisions: int = 4096,
         audit_maxlen: int = 1024,
+        slo_rules=None,
+        health_snapshot_every_s: float = 3600.0,
     ):
         self.trace = trace
         self.constraint = constraint
@@ -612,6 +620,8 @@ class TelemetrySensing(SensingPipeline):
         self.debounce_confirm = debounce_confirm
         self.max_decisions = max_decisions
         self.audit_maxlen = audit_maxlen
+        self.slo_rules = slo_rules
+        self.health_snapshot_every_s = health_snapshot_every_s
 
     def _offered_packets(self, _did, _t) -> int:
         """Offered packets per direction per poll (a bound method rather
@@ -652,6 +662,37 @@ class TelemetrySensing(SensingPipeline):
         self._min_threshold = min(
             [self.constraint.default] + list(self.constraint.per_tor.values())
         )
+        # Event-time health indicators + SLO evaluation.  The tracker
+        # consumes no RNG and schedules nothing, so runs stay bit-identical
+        # to untracked ones; it pickles with the pipeline, so scorecards
+        # survive checkpoint/resume byte-for-byte.
+        self.health = HealthTracker(
+            poll_interval_s=interval,
+            capacity_floor=self._min_threshold,
+            duration_s=kernel.duration_s,
+            num_shards=self._num_shards(),
+            rules=self.slo_rules,
+        )
+        self.health.router = self._health_router()
+        self._next_health_pub_s = self.health_snapshot_every_s
+
+    # -- health wiring (overridden by the service pipeline) ------------- #
+
+    def _num_shards(self) -> int:
+        return 1
+
+    def _health_router(self):
+        """ShardRouter-like object for the tracker (``None`` → shard 0)."""
+        return None
+
+    def _health_components(self) -> List[Tuple[int, int, int]]:
+        """Per-shard ``(index, breaker_open, debounce_confirmed)`` triples."""
+        controller = self.controller
+        return [(
+            0,
+            1 if controller.optimizer_breaker.state is BreakerState.OPEN else 0,
+            controller.debouncer.confirmed_count(),
+        )]
 
     # -- component factories (overridden by the service pipeline) ------- #
 
@@ -711,6 +752,7 @@ class TelemetrySensing(SensingPipeline):
             topo.set_corruption(link_id, condition.fwd_rate, Direction.UP)
             if condition.rev_rate > 0:
                 topo.set_corruption(link_id, condition.rev_rate, Direction.DOWN)
+            self.health.note_onset(event.time_s, link_id, condition.fwd_rate)
 
     def _controller_for(self, link_id: LinkId) -> CorrOptController:
         """The controller that owns ``link_id`` (sharded in the service)."""
@@ -720,6 +762,7 @@ class TelemetrySensing(SensingPipeline):
         kernel = self.kernel
         self._onset_time.pop(link_id, None)
         self._detected.discard(link_id)
+        self.health.note_repair(time_s, link_id)
         kernel.metrics.repairs_completed += 1
         controller = self._controller_for(link_id)
         before = controller.log.disabled_by_optimizer
@@ -777,16 +820,24 @@ class TelemetrySensing(SensingPipeline):
                     self.chaos.detection_delay_polls += max(
                         0.0, (now - onset) / self.poll_interval_s
                     )
+                    self.health.note_detection(now, link_id)
                 if decision.disabled:
                     kernel.metrics.disabled_on_onset += 1
                     if was_quarantined:
                         self.chaos.quarantine_violations += 1
                     if not truly_corrupting:
                         self.chaos.false_disables += 1
+                    self.health.note_mitigation(
+                        now,
+                        link_id,
+                        truly_corrupting,
+                        topo.link(link_id).max_corruption_rate(),
+                    )
                     kernel.schedule_repair(now, link_id)
                     break  # link is down; no point checking the other side
                 elif decision.fast_check is not None:
                     kernel.metrics.kept_active_on_onset += 1
+                    self.health.note_kept(now, link_id)
 
     # -- snapshots ------------------------------------------------------ #
 
@@ -805,6 +856,36 @@ class TelemetrySensing(SensingPipeline):
         quarantined = self.sanitizer.quarantined_directions()
         self.chaos.quarantined_peak = max(
             self.chaos.quarantined_peak, quarantined
+        )
+        obs = self.kernel.obs
+        self.health.note_poll(
+            time_s,
+            worst,
+            quarantined,
+            self._health_components(),
+            penalty=self.current_penalty(),
+            obs=obs,
+        )
+        if obs.enabled and time_s + 1e-9 >= self._next_health_pub_s:
+            while self._next_health_pub_s <= time_s + 1e-9:
+                self._next_health_pub_s += self.health_snapshot_every_s
+            self._publish_health(time_s)
+
+    def _publish_health(self, time_s: float) -> None:
+        """Periodic event-time health snapshot into the obs stream."""
+        obs = self.kernel.obs
+        row = self.health.report(end_s=time_s, complete=False).row()
+        for key, value in row.items():
+            if isinstance(value, bool):
+                obs.gauge(f"health_{key}", 1.0 if value else 0.0)
+            elif isinstance(value, (int, float)):
+                obs.gauge(f"health_{key}", float(value))
+        obs.event(
+            "health_snapshot",
+            detections=row["detections"],
+            false_disables=row["false_disables"],
+            alerts_fired=row["alerts_fired"],
+            slo_ok=row["slo_ok"],
         )
 
     # -- run end -------------------------------------------------------- #
@@ -845,6 +926,7 @@ class TelemetrySensing(SensingPipeline):
             self.sanitizer.quarantined_directions(),
         )
         obs.gauge("audit_evicted_records", self.audit.evicted)
+        self._publish_health(self.kernel.duration_s)
 
     def result_sections(self) -> Dict[str, object]:
         return {
@@ -852,4 +934,5 @@ class TelemetrySensing(SensingPipeline):
             "audit": self.audit,
             "sanitizer_stats": self.sanitizer.stats,
             "controller_log": self.controller.log,
+            "health": self.health.report(),
         }

@@ -40,6 +40,9 @@ class RunResult:
     audit: object = None
     sanitizer_stats: object = None
     controller_log: object = None
+    #: Event-time health report (:class:`repro.obs.health.HealthReport`);
+    #: ``None`` for oracle-sensing runs.
+    health: object = None
 
     @property
     def penalty_integral(self) -> float:

@@ -114,3 +114,39 @@ class TestSimulateArtifacts:
         )
         assert code == 0
         assert list(tmp_path.iterdir()) == []
+
+
+class TestMetricsSummaryQuantiles:
+    def test_histogram_families_report_quantiles(
+        self, chaos_artifacts, capsys
+    ):
+        code = main(["obs", "--metrics", str(chaos_artifacts / "metrics.prom")])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The chaos pipeline always observes poll batch sizes, so at
+        # least one histogram family must render p50/p95/p99 bounds.
+        quantile_lines = [
+            line for line in out.splitlines() if "p95<=" in line
+        ]
+        assert quantile_lines, out
+        for line in quantile_lines:
+            assert "n=" in line and "sum=" in line
+            assert "p50<=" in line and "p99<=" in line
+
+    def test_synthetic_histogram_quantiles_exact(self, tmp_path, capsys):
+        prom = tmp_path / "h.prom"
+        prom.write_text(
+            "# repro-obs prometheus snapshot format=1\n"
+            "# repro-version: 0.0.0\n"
+            "# HELP wait_s wait_s\n"
+            "# TYPE wait_s histogram\n"
+            'wait_s_bucket{job="a",le="1.0"} 50\n'
+            'wait_s_bucket{job="a",le="10.0"} 95\n'
+            'wait_s_bucket{job="a",le="+Inf"} 100\n'
+            'wait_s_sum{job="a"} 321.5\n'
+            'wait_s_count{job="a"} 100\n'
+        )
+        code = main(["obs", "--metrics", str(prom)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wait_s: n=100 sum=321.5 p50<=1.0 p95<=10.0 p99<=+Inf" in out

@@ -109,3 +109,66 @@ class TestServe:
         assert lines[0] == json.dumps(
             header, sort_keys=True, separators=(",", ":")
         )
+
+
+class TestGracefulDrain:
+    @pytest.mark.skipif(
+        not hasattr(__import__("signal"), "SIGTERM")
+        or __import__("os").name != "posix",
+        reason="POSIX signals required",
+    )
+    def test_sigterm_mid_run_flushes_valid_artifacts(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        ck_dir = tmp_path / "ck"
+        health = tmp_path / "health.json"
+        alerts = tmp_path / "alerts.jsonl"
+        audit = tmp_path / "audit.jsonl"
+        env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+        # A horizon far too long to finish: the run MUST be interrupted.
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--days", "365", "--scale", "0.06",
+                "--seed", "7", "--fault-seed", "7",
+                "--chaos-preset", "mild",
+                "--checkpoint-every", "4",
+                "--checkpoint-dir", str(ck_dir),
+                "--health-out", str(health),
+                "--alerts-out", str(alerts),
+                "--audit-out", str(audit),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            first_ckpt = ck_dir / "checkpoint-000001.ckpt"
+            deadline = time.monotonic() + 120
+            while not first_ckpt.exists():
+                assert proc.poll() is None, proc.stdout.read()
+                assert time.monotonic() < deadline, "no checkpoint in 120s"
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "draining to the next checkpoint boundary" in out
+        assert "(partial)" in out
+
+        from repro.obs import validate_alerts_jsonl, validate_health_scorecard
+        from repro.obs.schema import validate_audit_jsonl
+
+        card = json.loads(health.read_text())
+        assert validate_health_scorecard(card) == []
+        assert card["complete"] is False
+        assert validate_alerts_jsonl(alerts.read_text().splitlines()) == []
+        assert validate_audit_jsonl(audit.read_text().splitlines()) == []

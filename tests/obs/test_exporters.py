@@ -8,6 +8,8 @@ and the CI artifact job run — so "well-formed" means one thing everywhere.
 import itertools
 import json
 
+import pytest
+
 from repro import __version__
 from repro.core.resilience import AuditLog
 from repro.obs import (
@@ -20,9 +22,11 @@ from repro.obs import (
     validate_prometheus_text,
 )
 from repro.obs.exporters import (
+    _escape_label,
     chrome_trace,
     events_jsonl_lines,
     prometheus_text,
+    unescape_label,
 )
 
 
@@ -186,3 +190,37 @@ class TestAuditJsonl:
         header = json.loads(next(iter(log.jsonl_lines())))
         assert header["total_decisions"] == 5
         assert header["buffered_decisions"] == 2
+
+
+class TestLabelEscapeRoundTrip:
+    """_escape_label / unescape_label must be exact inverses."""
+
+    CASES = [
+        "plain",
+        'quote " inside',
+        "line\nbreak",
+        "back\\slash",
+        "\\n",  # literal backslash + n, NOT a newline
+        'mix \\ then " then \n end',
+        "trailing backslash \\",
+        "",
+    ]
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_round_trip(self, value):
+        assert unescape_label(_escape_label(value)) == value
+
+    def test_escaped_backslash_n_is_not_a_newline(self):
+        escaped = _escape_label("\\n")
+        assert escaped == "\\\\n"
+        assert unescape_label(escaped) == "\\n"
+
+    def test_escaped_value_has_no_raw_newline_or_quote(self):
+        escaped = _escape_label('a"b\nc\\d')
+        assert "\n" not in escaped
+        assert '"' not in escaped.replace('\\"', "")
+
+    def test_unescape_tolerates_unknown_sequences(self):
+        # A lone backslash before an unknown char passes through.
+        assert unescape_label("\\x") == "\\x"
+        assert unescape_label("\\") == "\\"

@@ -78,3 +78,39 @@ class TestKindDiscipline:
         assert len(reg) == 1
         assert "a_total" in reg
         assert "b_total" not in reg
+
+
+class TestHistogramQuantiles:
+    def _filled(self):
+        from repro.obs.registry import Histogram
+
+        histogram = Histogram()
+        for value in [0.5] * 50 + [5.0] * 45 + [5000.0] * 5:
+            histogram.observe(value)
+        return histogram
+
+    def test_quantiles_are_bucket_upper_bounds(self):
+        histogram = self._filled()
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.95) == 10.0
+        assert histogram.quantile(0.99) == 10000.0
+        assert histogram.quantile(1.0) == 10000.0
+
+    def test_overflow_bucket_reports_inf(self):
+        from repro.obs.registry import Histogram
+
+        histogram = Histogram()
+        histogram.observe(1e9)
+        assert histogram.quantile(0.5) == float("inf")
+
+    def test_empty_histogram_has_no_quantiles(self):
+        from repro.obs.registry import Histogram
+
+        assert Histogram().quantile(0.5) is None
+
+    def test_q_outside_unit_interval_rejected(self):
+        histogram = self._filled()
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.1)

@@ -1,0 +1,111 @@
+"""Live introspection endpoints: /healthz, /metrics, /slo.
+
+API-level: run a small service for a few boundaries, publish snapshots
+into the introspection server, and scrape all three endpoints over real
+HTTP (loopback, ephemeral port).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ControllerService, ServiceConfig
+from repro.service.http import ServiceIntrospectionServer
+
+FAST = dict(
+    days=0.5, scale=0.06, seed=7, fault_seed=7, chaos_preset="mild"
+)
+
+
+def _get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A completed service run with its final snapshot published."""
+    service = ControllerService(ServiceConfig(**FAST))
+    server = ServiceIntrospectionServer(port=0)
+    port = server.start()
+    server.publish_service(service, status="running")
+    status = service.run()
+    assert status.completed
+    server.publish_service(service, status="completed")
+    yield service, server, port
+    server.stop()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        service, _, port = served
+        code, ctype, body = _get(port, "/healthz")
+        assert code == 200
+        assert ctype == "application/json"
+        healthz = json.loads(body)
+        assert healthz["status"] == "completed"
+        assert healthz["shards"] == len(service.pipeline.shards)
+        assert healthz["sim_time_s"] > 0
+        assert healthz["events_pending"] == 0
+        assert isinstance(healthz["slo_ok"], bool)
+        assert healthz["slo_ok"] == (not healthz["firing"])
+
+    def test_metrics_is_prometheus_text(self, served):
+        _, _, port = served
+        code, ctype, body = _get(port, "/metrics")
+        assert code == 200
+        assert ctype.startswith("text/plain")
+        text = body.decode("utf-8")
+        # Uninstrumented run -> registry synthesized from the health row.
+        assert "# TYPE health_detections gauge" in text
+        assert "health_slo_ok" in text
+
+    def test_slo(self, served):
+        service, _, port = served
+        code, _, body = _get(port, "/slo")
+        assert code == 200
+        slo = json.loads(body)
+        rule_names = {rule["name"] for rule in slo["rules"]}
+        assert "capacity-headroom" in rule_names
+        assert slo["alerts_fired"] == len(
+            service.pipeline.health.slo.alerts
+        )
+        assert "detection" in slo["fleet"]
+        assert len(slo["shards"]) == len(service.pipeline.shards)
+
+    def test_unknown_path_404(self, served):
+        _, _, port = served
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(port, "/nope")
+        assert err.value.code == 404
+        payload = json.loads(err.value.read())
+        assert payload["paths"] == ["/healthz", "/metrics", "/slo"]
+
+    def test_snapshot_is_stable_until_next_publish(self, served):
+        _, _, port = served
+        _, _, first = _get(port, "/slo")
+        _, _, second = _get(port, "/slo")
+        assert first == second
+
+
+class TestLifecycle:
+    def test_unpublished_server_returns_503(self):
+        server = ServiceIntrospectionServer(port=0)
+        port = server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(port, "/healthz")
+            assert err.value.code == 503
+        finally:
+            server.stop()
+
+    def test_stop_releases_the_port(self):
+        server = ServiceIntrospectionServer(port=0)
+        port = server.start()
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            _get(port, "/healthz")

@@ -1,0 +1,142 @@
+"""Bench trajectory: runtime-metric detection, baseline carry, the gate."""
+
+import json
+
+import pytest
+
+from repro import benchtrack
+from repro.cli import main
+from repro.obs import validate_bench_trajectory
+
+
+def record(name, metrics):
+    return {
+        "format": "repro-benchmark",
+        "format_version": 1,
+        "repro_version": "1.0.0",
+        "name": name,
+        "environment": {"cpus": 1, "machine": "x", "python": "3"},
+        "metrics": metrics,
+    }
+
+
+def write(dirpath, *records):
+    for rec in records:
+        path = dirpath / f"{rec['name']}.json"
+        path.write_text(json.dumps(rec))
+
+
+class TestRuntimeMetricKeys:
+    def test_patterns_and_budget_exclusion(self):
+        keys = benchtrack.runtime_metric_keys({
+            "wall_s": 1.0,
+            "mean_ms_large": 0.5,
+            "pool_s": 2.0,
+            "serial_s": 3.0,
+            "mean_plan_s": 0.1,
+            "max_allowed_s": 99.0,       # budget, not a measurement
+            "bit_identical": True,       # bool never counts
+            "speedup": 3.1,              # not a runtime key
+        })
+        assert keys == [
+            "mean_ms_large", "mean_plan_s", "pool_s", "serial_s", "wall_s",
+        ]
+
+
+class TestTrajectory:
+    def test_build_validates_and_seeds_baseline(self, tmp_path):
+        write(tmp_path, record("b1", {"wall_s": 2.0, "items": 5}))
+        records, problems = benchtrack.load_results(tmp_path)
+        assert problems == []
+        trajectory = benchtrack.build_trajectory(records)
+        assert validate_bench_trajectory(trajectory) == []
+        assert trajectory["baseline"] == {"b1": {"wall_s": 2.0}}
+        assert trajectory["benchmarks"]["b1"]["runtime_metrics"] == ["wall_s"]
+
+    def test_invalid_records_reported_not_fatal(self, tmp_path):
+        write(tmp_path, record("ok", {"wall_s": 1.0}))
+        (tmp_path / "broken.json").write_text("{not json")
+        (tmp_path / "wrong.json").write_text(json.dumps({"format": "nope"}))
+        records, problems = benchtrack.load_results(tmp_path)
+        assert set(records) == {"ok"}
+        assert len(problems) == 2
+
+    def test_baseline_carried_forward_until_reset(self, tmp_path):
+        write(tmp_path, record("b1", {"wall_s": 1.0}))
+        records, _ = benchtrack.load_results(tmp_path)
+        first = benchtrack.build_trajectory(records)
+
+        write(tmp_path, record("b1", {"wall_s": 0.4}))  # got faster
+        records, _ = benchtrack.load_results(tmp_path)
+        carried = benchtrack.build_trajectory(records, previous=first)
+        assert carried["baseline"]["b1"]["wall_s"] == 1.0  # bar holds
+
+        reset = benchtrack.build_trajectory(
+            records, previous=first, update_baseline=True
+        )
+        assert reset["baseline"]["b1"]["wall_s"] == 0.4
+
+    def test_round_trip_is_byte_stable(self, tmp_path):
+        write(tmp_path, record("b1", {"wall_s": 1.0}))
+        records, _ = benchtrack.load_results(tmp_path)
+        trajectory = benchtrack.build_trajectory(records)
+        out = tmp_path / "t.json"
+        benchtrack.write_trajectory(out, trajectory)
+        first = out.read_bytes()
+        again = benchtrack.build_trajectory(
+            records, previous=benchtrack.load_trajectory(out)
+        )
+        benchtrack.write_trajectory(out, again)
+        assert out.read_bytes() == first
+
+
+class TestRegressionGate:
+    def _trajectory(self, base, current):
+        return {
+            "format": "repro-bench-trajectory",
+            "format_version": 1,
+            "repro_version": "1.0.0",
+            "benchmarks": {
+                "b1": {"metrics": {"wall_s": current},
+                       "runtime_metrics": ["wall_s"]},
+            },
+            "baseline": {"b1": {"wall_s": base}},
+        }
+
+    def test_within_budget_passes(self):
+        found = benchtrack.find_regressions(self._trajectory(1.0, 1.4), 0.5)
+        assert found == []
+
+    def test_regression_detected(self):
+        found = benchtrack.find_regressions(self._trajectory(1.0, 1.6), 0.5)
+        assert len(found) == 1
+        assert found[0].ratio == pytest.approx(1.6)
+        assert "b1.wall_s" in found[0].describe()
+
+    def test_improvement_never_fails(self):
+        assert benchtrack.find_regressions(
+            self._trajectory(1.0, 0.2), 0.0
+        ) == []
+
+
+class TestCli:
+    def test_check_gate_fails_and_leaves_baseline(self, tmp_path, capsys):
+        write(tmp_path, record("b1", {"wall_s": 1.0}))
+        out = tmp_path / "t.json"
+        argv = [
+            "bench-track", "--results-dir", str(tmp_path),
+            "--out", str(out), "--check", "--max-regression", "0.5",
+        ]
+        assert main(argv) == 0
+        baseline_bytes = out.read_bytes()
+
+        write(tmp_path, record("b1", {"wall_s": 2.0}))  # +100%
+        assert main(argv) == 1
+        assert "regression gate: FAILED" in capsys.readouterr().out
+        assert out.read_bytes() == baseline_bytes  # untouched on failure
+
+    def test_empty_results_dir_is_an_error(self, tmp_path, capsys):
+        assert main([
+            "bench-track", "--results-dir", str(tmp_path),
+            "--out", str(tmp_path / "t.json"),
+        ]) == 2
