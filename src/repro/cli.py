@@ -392,6 +392,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         max_retries=args.retries,
         timeout_s=args.timeout,
+        transport=args.transport,
     )
     sweep = runner.run(specs)
     for line in summary_lines(sweep):
@@ -410,6 +411,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.manifest_out:
         manifest.write(args.manifest_out)
         print(f"run manifest: {args.manifest_out}")
+    return 0 if not sweep.failures() else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Simulate the §2 fleet: one job per study DCN, one roll-up row."""
+    from repro.parallel.fleet import (
+        fleet_dcns,
+        fleet_summary_lines,
+        run_fleet,
+        write_fleet_jsonl,
+    )
+
+    dcns = fleet_dcns(args.dcns)
+    sweep, dcns = run_fleet(
+        dcns=dcns,
+        scale=args.scale,
+        duration_days=args.days,
+        trace_seed=args.seed,
+        capacity=args.capacity,
+        strategy=args.strategy,
+        jobs=args.jobs,
+        max_retries=args.retries,
+        timeout_s=args.timeout,
+        transport=args.transport,
+    )
+    for line in fleet_summary_lines(sweep, dcns):
+        print(line)
+    if args.out:
+        write_fleet_jsonl(args.out, sweep, dcns, timing=not args.no_timing)
+        print(f"fleet results: {args.out}")
     return 0 if not sweep.failures() else 1
 
 
@@ -1004,7 +1035,12 @@ def _print_sweep_summary(lines: List[str]) -> None:
     header = json.loads(lines[0]) if lines else {}
     rows = [json.loads(line) for line in lines[1:] if line.strip()]
     leaderboards = [row for row in rows if row.get("type") == "leaderboard"]
-    rows = [row for row in rows if row.get("type") != "leaderboard"]
+    fleets = [row for row in rows if row.get("type") == "fleet"]
+    rows = [
+        row
+        for row in rows
+        if row.get("type") not in ("leaderboard", "fleet")
+    ]
     ok = sum(1 for row in rows if row.get("status") == "ok")
     print(
         f"sweep: repro {header.get('repro_version', '?')}, "
@@ -1013,6 +1049,14 @@ def _print_sweep_summary(lines: List[str]) -> None:
     )
     if leaderboards:
         print(f"  {len(leaderboards)} leaderboard group(s)")
+    for fleet in fleets:
+        health = fleet.get("health", {})
+        print(
+            f"  fleet roll-up: {fleet.get('dcns', '?')} DCNs, "
+            f"{health.get('healthy_dcns', '?')} healthy / "
+            f"{health.get('degraded_dcns', '?')} degraded / "
+            f"{health.get('failed_dcns', '?')} failed"
+        )
     for row in rows:
         if row.get("status") != "ok":
             error = row.get("error", {})
@@ -1397,7 +1441,44 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Prometheus snapshot of sweep metrics")
     sweep.add_argument("--manifest-out", metavar="FILE",
                        help="write the sweep provenance manifest (JSON)")
+    sweep.add_argument(
+        "--transport", choices=("auto", "local", "shm"), default="auto",
+        help="how pool workers acquire scenarios (auto: shared memory "
+             "when available)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate the paper's 15-DCN study fleet (one job per DCN)",
+    )
+    fleet.add_argument("--dcns", type=int, default=15,
+                       help="how many study DCNs to simulate (1-15)")
+    fleet.add_argument("--scale", type=float, default=0.1,
+                       help="topology scale (1.0 = the ~350K-link footprint)")
+    fleet.add_argument("--days", type=float, default=30.0)
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="corruption trace seed")
+    fleet.add_argument("--capacity", type=float, default=0.75)
+    fleet.add_argument("--strategy", default="corropt")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (0 = all CPUs)")
+    fleet.add_argument("--retries", type=int, default=2)
+    fleet.add_argument("--timeout", type=float, default=None,
+                       help="no-progress watchdog in seconds")
+    fleet.add_argument(
+        "--transport", choices=("auto", "local", "shm"), default="auto",
+        help="how pool workers acquire scenarios (auto: shared memory "
+             "when available)",
+    )
+    fleet.add_argument("--out", metavar="FILE.jsonl",
+                       help="write canonical JSONL (results + fleet row)")
+    fleet.add_argument(
+        "--no-timing", action="store_true",
+        help="omit wall-clock fields so outputs are byte-identical "
+             "across --jobs values",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
 
     tour = sub.add_parser(
         "tournament",

@@ -318,6 +318,76 @@ def _leaderboard_row_problems(record: Dict, lineno: int) -> List[str]:
     return problems
 
 
+#: Numeric health columns every ok per-DCN entry of a fleet roll-up row
+#: must carry.
+FLEET_DCN_COLUMNS = (
+    "penalty_integral",
+    "mean_penalty",
+    "onsets",
+    "disabled_on_onset",
+    "repairs_completed",
+    "failed_repairs",
+    "worst_tor_fraction_min",
+)
+
+
+def _fleet_row_problems(record: Dict, lineno: int) -> List[str]:
+    """Problems with one ``type="fleet"`` roll-up row."""
+    problems: List[str] = []
+    for key in ("dcns", "ok", "failed", "links_design_total"):
+        value = record.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(f"line {lineno}: fleet missing integer {key!r}")
+    for key in ("penalty_integral_total", "onsets_total", "repairs_total"):
+        value = record.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"line {lineno}: fleet missing numeric {key!r}")
+    health = record.get("health")
+    if not isinstance(health, dict):
+        problems.append(f"line {lineno}: fleet missing object 'health'")
+    else:
+        for key in ("healthy_dcns", "degraded_dcns", "failed_dcns"):
+            value = health.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(
+                    f"line {lineno}: fleet health missing integer {key!r}"
+                )
+    per_dcn = record.get("per_dcn")
+    if not isinstance(per_dcn, list) or not per_dcn:
+        return problems + [
+            f"line {lineno}: fleet missing non-empty 'per_dcn'"
+        ]
+    if isinstance(record.get("dcns"), int) and len(per_dcn) != record["dcns"]:
+        problems.append(
+            f"line {lineno}: fleet says dcns={record['dcns']} but "
+            f"per_dcn has {len(per_dcn)} entries"
+        )
+    for position, entry in enumerate(per_dcn):
+        where = f"line {lineno}: per_dcn[{position}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(entry.get("dcn"), str):
+            problems.append(f"{where}: missing string 'dcn'")
+        if entry.get("topo_kind") not in ("clos", "fattree"):
+            problems.append(
+                f"{where}: bad topo_kind {entry.get('topo_kind')!r}"
+            )
+        if not isinstance(entry.get("healthy"), bool):
+            problems.append(f"{where}: missing boolean 'healthy'")
+        status = entry.get("status")
+        if status not in ("ok", "failed"):
+            problems.append(f"{where}: bad status {status!r}")
+        elif status == "ok":
+            for key in FLEET_DCN_COLUMNS:
+                value = entry.get(key)
+                if not isinstance(value, (int, float)) or isinstance(
+                    value, bool
+                ):
+                    problems.append(f"{where}: missing numeric {key!r}")
+    return problems
+
+
 def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
     """Problems with a ``repro sweep`` JSONL export (empty list = valid)."""
     problems: List[str] = []
@@ -358,6 +428,11 @@ def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
             # Tournament files append ranked leaderboard rows after the
             # result rows; they do not count toward jobs_total.
             problems.extend(_leaderboard_row_problems(record, lineno))
+            continue
+        if record.get("type") == "fleet":
+            # Fleet files append one roll-up row after the per-DCN
+            # result rows; it does not count toward jobs_total.
+            problems.extend(_fleet_row_problems(record, lineno))
             continue
         if record.get("type") != "result":
             problems.append(

@@ -11,6 +11,9 @@ bit-identical at any worker count:
 - :class:`~repro.parallel.runner.ParallelRunner` — serial and
   process-pool backends with worker-local scenario caching, bounded
   crash retry, and a hang watchdog;
+- :mod:`~repro.parallel.shm` — the shared-memory scenario transport:
+  build each (topology, trace) pair once in the parent, publish the
+  columnar arrays, let workers map them read-only;
 - :class:`~repro.parallel.grid.GridSpec` — the declarative `repro
   sweep` grid format;
 - :mod:`~repro.parallel.aggregate` — canonical JSONL output, merged
@@ -40,6 +43,22 @@ from repro.parallel.runner import (
     available_cpus,
     run_sweep,
 )
+from repro.parallel.fleet import (
+    FleetDCN,
+    fleet_dcns,
+    fleet_rollup_row,
+    fleet_rows,
+    fleet_specs,
+    fleet_summary_lines,
+    run_fleet,
+    write_fleet_jsonl,
+)
+from repro.parallel.shm import (
+    ScenarioPublisher,
+    ShmScenarioHandle,
+    attach_scenario,
+    shm_supported,
+)
 from repro.parallel.spec import JobSpec, job_seed
 from repro.parallel.tournament import (
     TOURNAMENT_STRATEGIES,
@@ -59,18 +78,27 @@ from repro.parallel.worker import (
 )
 
 __all__ = [
+    "FleetDCN",
     "GridSpec",
     "JobRecord",
     "JobSpec",
     "ParallelRunner",
     "ScenarioCache",
+    "ScenarioPublisher",
+    "ShmScenarioHandle",
     "SweepResult",
     "TOURNAMENT_STRATEGIES",
+    "attach_scenario",
     "available_cpus",
     "build_strategy",
     "build_sweep_manifest",
     "calibration_grid",
     "execute_job",
+    "fleet_dcns",
+    "fleet_rollup_row",
+    "fleet_rows",
+    "fleet_specs",
+    "fleet_summary_lines",
     "job_seed",
     "leaderboard_lines",
     "leaderboard_rows",
@@ -79,14 +107,17 @@ __all__ = [
     "parse_int_list",
     "parse_str_list",
     "record_row",
+    "run_fleet",
     "run_sweep",
     "run_tournament",
     "series_digest",
+    "shm_supported",
     "summary_lines",
     "sweep_registry",
     "sweep_rows",
     "tournament_grid",
     "tournament_rows",
     "worker_cache",
+    "write_fleet_jsonl",
     "write_sweep_jsonl",
 ]

@@ -1,0 +1,255 @@
+"""Shared-memory scenario transport for the parallel runner.
+
+The historic pool protocol ships only :class:`~repro.parallel.spec.JobSpec`
+values to workers; each worker then *rebuilds* every scenario it touches
+(topology construction plus trace generation).  On a 16-job grid over four
+scenarios with four workers that is up to 16 builds where a serial run does
+four — which is exactly why ``runtime_parallel_sweep`` showed the pool
+losing on real simulation grids.
+
+This module builds each scenario **once, in the parent**, and publishes it
+through ``multiprocessing.shared_memory``:
+
+- the topology goes in as its columnar arrays
+  (:meth:`~repro.topology.columnar.ColumnarTopology.arrays`), laid out
+  back-to-back in one segment;
+- the frozen fault trace goes in as pickled bytes appended to the same
+  segment (fault events are immutable tuples — the pickle is compact and
+  the unpickled trace is shared by reference across a worker's jobs).
+
+Workers receive a tiny picklable :class:`ShmScenarioHandle` (segment name,
+per-field dtype/shape/offset table, digest) alongside the spec, map the
+segment read-only, reconstruct the object topology from the mapped arrays,
+and cache it under a transport-qualified key — no per-worker rebuilds, no
+per-job unpickling of topologies.
+
+Ownership rules (enforced by the runner and the leak-guard tests):
+
+- the **parent** creates segments and is the only process that ever
+  unlinks them, in a ``finally`` that runs even when workers crash, hang,
+  or the pool breaks;
+- **workers** attach by name, immediately detach the segment from their
+  ``resource_tracker`` (the parent owns cleanup; a tracker-driven unlink
+  at worker exit would yank the segment from under sibling workers), copy
+  nothing they do not need, and close the mapping as soon as the object
+  scenario is materialized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import secrets
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.topology.columnar import ColumnarTopology
+from repro.topology.graph import Topology
+from repro.workloads.trace import CorruptionTrace
+
+#: Prefix of every segment this transport creates — the CI leak guard
+#: greps ``/dev/shm`` for it after the crash-isolation tests.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Field offsets are aligned so every mapped array starts on a boundary
+#: that satisfies any dtype in the layout.
+_ALIGN = 16
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+#: Segment names created by *this* process.  ``attach_scenario`` in the
+#: creating process (serial tests, same-process attach) must not
+#: unregister them — the creator's registration is the legitimate one.
+_OWNED: Set[str] = set()
+
+
+def _create_segment(size: int) -> shared_memory.SharedMemory:
+    """A fresh named segment under :data:`SEGMENT_PREFIX`."""
+    while True:
+        name = SEGMENT_PREFIX + secrets.token_hex(8)
+        try:
+            return shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        except FileExistsError:  # pragma: no cover - 64-bit collision
+            continue
+
+
+@dataclass(frozen=True)
+class ShmScenarioHandle:
+    """Everything a worker needs to map one published scenario.
+
+    Attributes:
+        segment: Shared-memory segment name.
+        topo_name: Topology name (scalar, not stored in the arrays).
+        topo_stages: Stage count (scalar likewise).
+        fields: Per-array layout table:
+            ``(field, dtype string, shape, byte offset)`` in
+            :data:`~repro.topology.columnar.ARRAY_FIELDS` order.
+        trace_offset: Byte offset of the pickled trace.
+        trace_length: Byte length of the pickled trace.
+        digest: Content digest over topology arrays + trace pickle; the
+            scenario cache's identity component for shm entries.
+    """
+
+    segment: str
+    topo_name: str
+    topo_stages: int
+    fields: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+    trace_offset: int
+    trace_length: int
+    digest: str
+
+
+class ScenarioPublisher:
+    """Parent-side segment registry: publish once, unlink exactly once.
+
+    One publisher exists per pool run.  ``publish`` is memoized on the
+    scenario key, so a 16-job grid over four scenarios creates four
+    segments.  :meth:`close_and_unlink` is idempotent and must run in the
+    pool's ``finally`` — it is the single place segments are unlinked.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+
+    def publish(
+        self, base_topo: Topology, trace: CorruptionTrace
+    ) -> ShmScenarioHandle:
+        """Publish one (topology, trace) pair; returns the worker handle."""
+        col = ColumnarTopology.from_topology(base_topo)
+        arrays = col.arrays()
+        trace_bytes = pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL)
+
+        fields = []
+        offset = 0
+        for field, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            arrays[field] = array
+            offset = _aligned(offset)
+            fields.append((field, array.dtype.str, array.shape, offset))
+            offset += array.nbytes
+        trace_offset = _aligned(offset)
+        total = max(1, trace_offset + len(trace_bytes))
+
+        digest = hashlib.sha256()
+        digest.update(col.digest().encode("utf-8"))
+        digest.update(hashlib.sha256(trace_bytes).digest())
+
+        shm = _create_segment(total)
+        _OWNED.add(shm.name)
+        try:
+            for (field, dtype, shape, off), array in zip(
+                fields, arrays.values()
+            ):
+                view = np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=off
+                )
+                view[...] = array
+                del view
+            shm.buf[trace_offset : trace_offset + len(trace_bytes)] = (
+                trace_bytes
+            )
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            _OWNED.discard(shm.name)
+            raise
+        self._segments[shm.name] = shm
+        return ShmScenarioHandle(
+            segment=shm.name,
+            topo_name=col.name,
+            topo_stages=col.num_stages,
+            fields=tuple(fields),
+            trace_offset=trace_offset,
+            trace_length=len(trace_bytes),
+            digest="sha256:" + digest.hexdigest(),
+        )
+
+    def segment_names(self) -> Tuple[str, ...]:
+        return tuple(self._segments)
+
+    def close_and_unlink(self) -> None:
+        """Release every published segment (idempotent, crash-safe)."""
+        segments, self._segments = self._segments, {}
+        for shm in segments.values():
+            try:
+                shm.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            _OWNED.discard(shm.name)
+
+    def __del__(self) -> None:  # pragma: no cover - backstop only
+        self.close_and_unlink()
+
+
+def attach_scenario(
+    handle: ShmScenarioHandle,
+) -> Tuple[Topology, CorruptionTrace]:
+    """Worker-side: map a published scenario and materialize the objects.
+
+    The object topology produced here is indistinguishable from the one
+    the parent built (same iteration order, same state), so results are
+    byte-identical across transports.  The mapping is closed before
+    returning; only the parent unlinks.
+    """
+    shm = shared_memory.SharedMemory(name=handle.segment, create=False)
+    # Attaching registered this segment with our resource tracker, which
+    # would unlink it when this worker exits — while the parent and
+    # sibling workers still use it.  The parent owns the unlink; detach.
+    # (Unless *we* are the creating process: then the registration is
+    # the creator's own and must stay for its unlink to balance.)
+    if handle.segment not in _OWNED:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker variations
+            pass
+    try:
+        arrays = {
+            field: np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+            )
+            for field, dtype, shape, offset in handle.fields
+        }
+        col = ColumnarTopology.from_arrays(
+            handle.topo_name, handle.topo_stages, arrays
+        )
+        topo = col.to_topology()
+        trace = pickle.loads(
+            bytes(
+                shm.buf[
+                    handle.trace_offset : handle.trace_offset
+                    + handle.trace_length
+                ]
+            )
+        )
+        # Drop every view into the mapping before closing it (an exported
+        # buffer would make close() raise BufferError).
+        del arrays, col
+    finally:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views still alive
+            pass
+    return topo, trace
+
+
+def shm_supported() -> bool:
+    """Whether POSIX shared memory is usable on this platform."""
+    try:
+        probe = shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, FileNotFoundError):  # pragma: no cover - no /dev/shm
+        return False
+    probe.close()
+    probe.unlink()
+    return True

@@ -72,6 +72,11 @@ KNOWN_CHAOS_PRESETS = (
     "flaky-collector",
 )
 
+#: Topology families a spec may request.  ``"clos"`` is the historical
+#: plane-wired Clos; ``"fattree"`` builds a k-ary fat-tree sized from
+#: the profile (heterogeneous-fleet campaigns mix both).
+KNOWN_TOPO_KINDS = ("clos", "fattree")
+
 
 @dataclass(frozen=True)
 class JobSpec:
@@ -118,6 +123,12 @@ class JobSpec:
             the job's topology copy (simulate jobs only).  Omitted from
             the canonical JSON when 0.0, so every pre-LG spec keeps its
             derived seed.
+        topo_kind: Topology family (``"clos"`` or ``"fattree"``).
+            Omitted from the canonical JSON at the default, so every
+            pre-fleet spec keeps its derived seed.
+        breakout_fraction: Fraction of links grouped into breakout
+            cables on the scenario's base topology (§4 root cause 5).
+            Omitted from the canonical JSON when 0.0, likewise.
     """
 
     kind: str = "simulate"
@@ -141,6 +152,8 @@ class JobSpec:
     fault_seed: int = 0
     knobs: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
     lg_coverage: float = 0.0
+    topo_kind: str = "clos"
+    breakout_fraction: float = 0.0
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -194,6 +207,13 @@ class JobSpec:
             raise ValueError("capacity constraint outside (0, 1]")
         if not 0.0 <= self.lg_coverage <= 1.0:
             raise ValueError("lg_coverage outside [0, 1]")
+        if self.topo_kind not in KNOWN_TOPO_KINDS:
+            raise ValueError(
+                f"unknown topo_kind {self.topo_kind!r}; "
+                f"choose from {sorted(KNOWN_TOPO_KINDS)}"
+            )
+        if not 0.0 <= self.breakout_fraction <= 1.0:
+            raise ValueError("breakout_fraction outside [0, 1]")
         if self.kind == "chaos":
             if self.lg_coverage:
                 raise ValueError(
@@ -232,6 +252,10 @@ class JobSpec:
             if f.name == "fault_seed" and value == 0:
                 continue
             if f.name == "lg_coverage" and value == 0.0:
+                continue
+            if f.name == "topo_kind" and value == "clos":
+                continue
+            if f.name == "breakout_fraction" and value == 0.0:
                 continue
             if isinstance(value, tuple):
                 value = [list(v) if isinstance(v, tuple) else v for v in value]
@@ -287,6 +311,8 @@ class JobSpec:
             self.trace_seed,
             self.events_per_10k,
             self.dedup_trace,
+            self.topo_kind,
+            self.breakout_fraction,
         )
 
     def knobs_dict(self) -> Dict[str, float]:

@@ -22,7 +22,7 @@ import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.core.constraints import CapacityConstraint
 from repro.core.penalty import PENALTY_BY_NAME, PenaltyFn
@@ -35,6 +35,9 @@ from repro.simulation.strategies import build_strategy
 from repro.topology.graph import Topology
 from repro.workloads.dcn_profiles import DCNProfile, LARGE_DCN, MEDIUM_DCN
 from repro.workloads.trace import CorruptionTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.shm import ShmScenarioHandle
 
 PRESET_PROFILES: Dict[str, DCNProfile] = {
     "medium": MEDIUM_DCN,
@@ -80,6 +83,14 @@ class ScenarioCache:
 
     Bounded so an adversarially wide grid cannot exhaust worker memory;
     entries are immutable by contract (jobs run on copies).
+
+    Keys are **transport-qualified**: a locally built scenario caches
+    under ``("local", None)`` while one materialized from a shared-memory
+    handle caches under ``("shm", handle.digest)``.  Two specs with the
+    same scenario key but different transports (or two shm publications
+    of topologies that diverged) must never alias — a stale local entry
+    shadowing a republished segment would silently run jobs on the wrong
+    topology.
     """
 
     def __init__(self, max_entries: int = 8):
@@ -89,15 +100,29 @@ class ScenarioCache:
         )
         self.stats = CacheStats()
 
-    def get(self, spec: JobSpec) -> Tuple[Topology, CorruptionTrace, bool]:
-        """(base topology, shared trace, was-a-hit) for this spec."""
-        key = spec.scenario_key()
+    def get(
+        self, spec: JobSpec, handle: Optional["ShmScenarioHandle"] = None
+    ) -> Tuple[Topology, CorruptionTrace, bool]:
+        """(base topology, shared trace, was-a-hit) for this spec.
+
+        With ``handle`` the scenario is attached from shared memory
+        instead of rebuilt; the handle's content digest joins the key.
+        """
+        if handle is None:
+            key = ("local", None) + spec.scenario_key()
+        else:
+            key = ("shm", handle.digest) + spec.scenario_key()
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
             return entry[0], entry[1], True
-        topo, trace = self._build(spec)
+        if handle is None:
+            topo, trace = self._build(spec)
+        else:
+            from repro.parallel.shm import attach_scenario
+
+            topo, trace = attach_scenario(handle)
         self._entries[key] = (topo, trace)
         self.stats.misses += 1
         while len(self._entries) > self.max_entries:
@@ -114,6 +139,8 @@ class ScenarioCache:
             capacity=spec.capacity,
             events_per_10k_links_per_day=spec.events_per_10k,
             dedup=spec.dedup_trace,
+            topo_kind=spec.topo_kind,
+            breakout_fraction=spec.breakout_fraction,
         )
         return scenario._base_topo, scenario.trace
 
@@ -203,18 +230,22 @@ def _execute_calibration(spec: JobSpec, attempt: int) -> JobRecord:
 
 
 def execute_job(
-    spec: JobSpec, attempt: int = 1, obs: Recorder = NULL_RECORDER
+    spec: JobSpec,
+    attempt: int = 1,
+    obs: Recorder = NULL_RECORDER,
+    handle: Optional["ShmScenarioHandle"] = None,
 ) -> JobRecord:
     """Run one job in this process and return its record.
 
     Exceptions propagate (the runner owns retry/failure policy); a
-    returned record always has ``status == "ok"``.
+    returned record always has ``status == "ok"``.  ``handle`` switches
+    scenario acquisition to the shared-memory transport.
     """
     spec.validate()
     if spec.kind == "calibrate":
         return _execute_calibration(spec, attempt)
 
-    base_topo, trace, cache_hit = _CACHE.get(spec)
+    base_topo, trace, cache_hit = _CACHE.get(spec, handle=handle)
     start = time.perf_counter()
     if spec.kind == "chaos":
         return _execute_chaos(
@@ -311,7 +342,11 @@ def _execute_chaos(
     )
 
 
-def pool_entry(spec: JobSpec, attempt: int) -> Tuple[JobRecord, Dict[str, int]]:
+def pool_entry(
+    spec: JobSpec,
+    attempt: int,
+    handle: Optional["ShmScenarioHandle"] = None,
+) -> Tuple[JobRecord, Dict[str, int]]:
     """Pool-side wrapper: run the job, attach this worker's cache stats."""
-    record = execute_job(spec, attempt=attempt)
+    record = execute_job(spec, attempt=attempt, handle=handle)
     return record, _CACHE.stats.as_dict()

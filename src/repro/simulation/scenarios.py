@@ -55,6 +55,19 @@ class Scenario:
         return CapacityConstraint(self.capacity)
 
 
+def fattree_arity(profile: DCNProfile, scale: float = 1.0) -> int:
+    """The fat-tree ``k`` standing in for a Clos profile at ``scale``.
+
+    Chosen so the fat-tree's pod count tracks the scaled profile's —
+    the same knob :meth:`DCNProfile.build` scales — clamped to the
+    smallest legal even arity.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    k = max(4, int(round(profile.num_pods * scale)))
+    return k + (k % 2)
+
+
 def make_scenario(
     profile: DCNProfile = MEDIUM_DCN,
     scale: float = 0.25,
@@ -63,6 +76,8 @@ def make_scenario(
     capacity: float = 0.75,
     events_per_10k_links_per_day: float = 4.0,
     dedup: bool = True,
+    topo_kind: str = "clos",
+    breakout_fraction: float = 0.0,
 ) -> Scenario:
     """Build a scenario: scaled topology + corruption trace.
 
@@ -72,8 +87,29 @@ def make_scenario(
     ablation stresses overlapping tickets).  This is the single build
     path shared by in-process campaigns and pool workers
     (:mod:`repro.parallel.worker`).
+
+    ``topo_kind="fattree"`` swaps the plane-wired Clos for a k-ary
+    fat-tree sized via :func:`fattree_arity`; ``breakout_fraction`` > 0
+    groups that fraction of links into breakout cables (deterministic
+    assignment) so fleet campaigns model §4's root cause 5.
     """
-    topo = profile.build(scale=scale)
+    if topo_kind == "clos":
+        topo = profile.build(scale=scale)
+    elif topo_kind == "fattree":
+        from repro.topology.fattree import build_fattree
+
+        topo = build_fattree(fattree_arity(profile, scale), name=profile.name)
+    else:
+        raise ValueError(f"unknown topo_kind {topo_kind!r}")
+    if breakout_fraction > 0.0:
+        from repro.topology.breakout import assign_breakout_groups
+
+        # Two links per cable: the study DCNs' per-switch fanouts are
+        # modest enough that 4-wide cables would never form at their
+        # default fractions.
+        assign_breakout_groups(
+            topo, fraction=breakout_fraction, links_per_cable=2
+        )
     trace = generate_trace(
         topo,
         duration_days=duration_days,

@@ -34,15 +34,20 @@ from repro.topology.random_topo import (
     degrade,
     sprinkle_corruption,
 )
+from repro.topology.columnar import ColumnarPathCounter, ColumnarTopology
 from repro.topology.serialization import (
     load_topology,
+    load_topology_npz,
     save_topology,
+    save_topology_npz,
     topology_from_dict,
     topology_to_dict,
 )
 from repro.topology.validate import TopologyError, is_connected_to_spine, validate
 
 __all__ = [
+    "ColumnarPathCounter",
+    "ColumnarTopology",
     "Direction",
     "DirectionId",
     "Link",
@@ -60,8 +65,10 @@ __all__ = [
     "degrade",
     "is_connected_to_spine",
     "load_topology",
+    "load_topology_npz",
     "repair_collateral",
     "save_topology",
+    "save_topology_npz",
     "sprinkle_corruption",
     "topology_from_dict",
     "topology_to_dict",

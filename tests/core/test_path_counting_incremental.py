@@ -12,6 +12,7 @@ import pytest
 
 from repro.core import PathCounter
 from repro.topology import build_clos
+from repro.topology.columnar import ColumnarPathCounter
 
 
 def fresh_oracle(topo):
@@ -26,6 +27,7 @@ class TestIncrementalMatchesFullDP:
         topo = build_clos(num_pods=3, tors_per_pod=4, aggs_per_pod=3, num_spines=9)
         counter = PathCounter(topo)
         oracle = fresh_oracle(topo)
+        columnar = ColumnarPathCounter.for_topology(topo)
         rng = random.Random(1234)
         links = list(topo.link_ids())
 
@@ -44,12 +46,20 @@ class TestIncrementalMatchesFullDP:
             if step < 25 or step % 7 == 0:
                 assert counter.counts() == oracle.counts(), f"step {step}"
                 assert counter.tor_fractions() == oracle.tor_fractions()
+                # The vectorized full-recount counter must agree too.
+                assert columnar.counts() == oracle.counts(), f"step {step}"
+                assert columnar.tor_fractions() == oracle.tor_fractions()
 
             # Aggregates every step: they are what the simulator records.
             fractions = oracle.tor_fractions()
             assert counter.worst_tor_fraction() == min(fractions.values())
             assert counter.average_tor_fraction() == pytest.approx(
                 sum(fractions.values()) / len(fractions), abs=0.0, rel=1e-15
+            )
+            assert columnar.worst_tor_fraction() == counter.worst_tor_fraction()
+            assert (
+                columnar.average_tor_fraction()
+                == counter.average_tor_fraction()
             )
 
             # Hypothetical overlays against the oracle's hypothetical DP.
@@ -59,12 +69,14 @@ class TestIncrementalMatchesFullDP:
                 assert counter.tor_fractions(extra) == oracle.tor_fractions(
                     extra
                 )
+                assert columnar.counts(extra) == oracle.counts(extra)
 
         # Final state equals a brand-new counter built from scratch.
         scratch = PathCounter(topo)
         assert counter.counts() == scratch.counts()
         assert counter.worst_tor_fraction() == scratch.worst_tor_fraction()
         assert counter.average_tor_fraction() == scratch.average_tor_fraction()
+        assert columnar.counts() == scratch.counts()
 
     def test_average_is_bit_identical_to_recount(self):
         """The Fraction-based running sum guarantees bit-identical floats,

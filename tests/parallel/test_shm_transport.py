@@ -1,0 +1,245 @@
+"""Shared-memory scenario transport: identity, cache keying, leak safety.
+
+The transport exists purely as a performance seam — its contract is that
+no byte of any result may depend on it.  These tests pin that contract,
+the transport-qualified scenario-cache keys (a local build must never
+alias a shared-memory attach of the "same" scenario key, because the
+published topology can diverge from what a worker would rebuild), and
+the parent-owns-unlink lifecycle: no ``/dev/shm`` segment survives a
+sweep, even one that crashes workers or trips the watchdog.
+"""
+
+import glob
+import pickle
+
+import pytest
+
+from repro.parallel import JobSpec, ParallelRunner, worker_cache
+from repro.parallel.aggregate import sweep_rows
+from repro.parallel.shm import (
+    SEGMENT_PREFIX,
+    ScenarioPublisher,
+    attach_scenario,
+    shm_supported,
+)
+from repro.parallel.worker import ScenarioCache
+from repro.topology.serialization import topology_to_dict
+
+pytestmark = pytest.mark.skipif(
+    not shm_supported(), reason="POSIX shared memory unavailable"
+)
+
+
+def leaked_segments():
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+@pytest.fixture(autouse=True)
+def _cold_cache_no_leaks():
+    worker_cache().clear()
+    assert leaked_segments() == []
+    yield
+    worker_cache().clear()
+    assert leaked_segments() == [], "sweep leaked shared-memory segments"
+
+
+def sim_spec(**overrides):
+    base = dict(
+        kind="simulate",
+        preset="medium",
+        strategy="corropt",
+        scale=0.1,
+        duration_days=10.0,
+        capacity=0.25,
+        events_per_10k=300.0,
+    )
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+class TestPublishAttach:
+    def test_round_trip_is_lossless(self):
+        spec = sim_spec()
+        topo, trace, _ = worker_cache().get(spec)
+        publisher = ScenarioPublisher()
+        try:
+            handle = publisher.publish(topo, trace)
+            assert handle.segment.startswith(SEGMENT_PREFIX)
+            attached_topo, attached_trace = attach_scenario(handle)
+        finally:
+            publisher.close_and_unlink()
+        assert topology_to_dict(attached_topo) == topology_to_dict(topo)
+        assert list(attached_topo.link_ids()) == list(topo.link_ids())
+        assert pickle.dumps(attached_trace) == pickle.dumps(trace)
+
+    def test_close_and_unlink_is_idempotent(self):
+        spec = sim_spec()
+        topo, trace, _ = worker_cache().get(spec)
+        publisher = ScenarioPublisher()
+        publisher.publish(topo, trace)
+        assert len(publisher.segment_names()) == 1
+        publisher.close_and_unlink()
+        publisher.close_and_unlink()  # second call must be a no-op
+        assert leaked_segments() == []
+
+    def test_digest_tracks_topology_content(self):
+        spec = sim_spec()
+        topo, trace, _ = worker_cache().get(spec)
+        mutated = topo.copy()
+        mutated.disable_link(next(iter(mutated.link_ids())))
+        publisher = ScenarioPublisher()
+        try:
+            first = publisher.publish(topo, trace)
+            second = publisher.publish(mutated, trace)
+            assert first.digest != second.digest
+        finally:
+            publisher.close_and_unlink()
+
+
+class TestCacheKeying:
+    """Regression: transport must be part of the scenario-cache key."""
+
+    def test_local_and_shm_entries_do_not_alias(self):
+        spec = sim_spec()
+        cache = ScenarioCache()
+        local_topo, local_trace, hit = cache.get(spec)
+        assert not hit
+
+        # Publish a *diverged* topology under the same scenario key: the
+        # cache must attach it rather than serving the stale local build.
+        mutated = local_topo.copy()
+        mutated.disable_link(next(iter(mutated.link_ids())))
+        publisher = ScenarioPublisher()
+        try:
+            handle = publisher.publish(mutated, local_trace)
+            shm_topo, _, hit = cache.get(spec, handle=handle)
+            assert not hit, "shm fetch aliased the local cache entry"
+            assert topology_to_dict(shm_topo) == topology_to_dict(mutated)
+            assert topology_to_dict(shm_topo) != topology_to_dict(local_topo)
+
+            # Both entries are live and hit independently afterwards.
+            _, _, hit = cache.get(spec)
+            assert hit
+            _, _, hit = cache.get(spec, handle=handle)
+            assert hit
+        finally:
+            publisher.close_and_unlink()
+
+    def test_distinct_publications_keyed_by_digest(self):
+        spec = sim_spec()
+        cache = ScenarioCache()
+        topo, trace, _ = cache.get(spec)
+        mutated = topo.copy()
+        mutated.disable_link(next(iter(mutated.link_ids())))
+        publisher = ScenarioPublisher()
+        try:
+            first = publisher.publish(topo, trace)
+            second = publisher.publish(mutated, trace)
+            first_topo, _, _ = cache.get(spec, handle=first)
+            second_topo, _, hit = cache.get(spec, handle=second)
+            assert not hit, "different digests must not share an entry"
+            assert topology_to_dict(first_topo) != topology_to_dict(
+                second_topo
+            )
+        finally:
+            publisher.close_and_unlink()
+
+
+class TestTransportIdentity:
+    def test_rows_byte_identical_across_transports(self):
+        specs = [
+            sim_spec(strategy=strategy, capacity=capacity)
+            for strategy in ("corropt", "none")
+            for capacity in (0.25, 0.5)
+        ]
+        serial = ParallelRunner(jobs=1).run(specs)
+        local = ParallelRunner(jobs=2, transport="local").run(specs)
+        shm = ParallelRunner(jobs=2, transport="shm").run(specs)
+        assert sweep_rows(serial, timing=False) == sweep_rows(
+            local, timing=False
+        )
+        assert sweep_rows(local, timing=False) == sweep_rows(
+            shm, timing=False
+        )
+        assert [r.status for r in shm.records] == ["ok"] * len(specs)
+
+    def test_auto_resolves_shm_for_scenario_sweeps(self):
+        specs = [sim_spec(), sim_spec(capacity=0.5)]
+        runner = ParallelRunner(jobs=2, transport="auto")
+        runner.run(specs)
+        assert runner.last_transport == "shm"
+
+    def test_auto_stays_local_for_calibration_sweeps(self):
+        specs = [
+            JobSpec(kind="calibrate", trace_seed=seed) for seed in range(3)
+        ]
+        runner = ParallelRunner(jobs=2, transport="auto")
+        sweep = runner.run(specs)
+        assert runner.last_transport == "local"
+        assert all(r.ok for r in sweep.records)
+
+    def test_serial_runs_report_local(self):
+        runner = ParallelRunner(jobs=1, transport="shm")
+        runner.run([sim_spec()])
+        assert runner.last_transport == "local"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ParallelRunner(jobs=2, transport="tcp")
+
+
+class TestLeakGuard:
+    """Segments are unlinked even when the sweep goes sideways."""
+
+    def test_no_leak_after_worker_crash(self):
+        specs = [
+            sim_spec(),
+            JobSpec(
+                kind="calibrate",
+                trace_seed=5,
+                knobs=(("exit_attempts", 99.0),),
+            ),
+        ]
+        sweep = ParallelRunner(
+            jobs=2, max_retries=1, transport="shm"
+        ).run(specs)
+        statuses = {r.spec.kind: r.status for r in sweep.records}
+        assert statuses["simulate"] == "ok"
+        assert statuses["calibrate"] == "failed"
+        assert leaked_segments() == []
+
+    def test_no_leak_after_watchdog_timeout(self):
+        specs = [
+            JobSpec(
+                kind="calibrate",
+                trace_seed=6,
+                knobs=(("hang_s", 120.0),),
+            ),
+            sim_spec(),
+        ]
+        sweep = ParallelRunner(
+            jobs=2, max_retries=0, timeout_s=2.0, transport="shm"
+        ).run(specs)
+        by_kind = {r.spec.kind: r for r in sweep.records}
+        assert by_kind["calibrate"].status == "failed"
+        assert by_kind["calibrate"].error["kind"] == "timeout"
+        assert by_kind["simulate"].status == "ok"
+        assert leaked_segments() == []
+
+    def test_no_leak_when_publish_fails(self):
+        class ExplodingPublisher(ScenarioPublisher):
+            def publish(self, base_topo, trace):
+                super().publish(base_topo, trace)
+                raise RuntimeError("publish exploded")
+
+        import repro.parallel.shm as shm_module
+
+        runner = ParallelRunner(jobs=2, transport="shm")
+        original = shm_module.ScenarioPublisher
+        shm_module.ScenarioPublisher = ExplodingPublisher
+        try:
+            with pytest.raises(RuntimeError, match="publish exploded"):
+                runner.run([sim_spec(), sim_spec(capacity=0.5)])
+        finally:
+            shm_module.ScenarioPublisher = original
+        assert leaked_segments() == []
