@@ -1,0 +1,141 @@
+"""Runtime localization: the voting localizer through the parallel runner.
+
+The 007-style flow-voting pipeline does strictly more per poll than
+counter telemetry (flow sampling, per-flow Bernoulli draws, per-link
+tallies), so this benchmark pins down what that costs and proves the
+votes stay deterministic under the pool.  An 8-job grid on the medium
+preset — 2 fault presets × 4 trace seeds, all with the hotspot
+congestion co-model, 4 miswired cable pairs and ``sensing="voting"`` —
+runs serially and at 4 workers, recording to
+``benchmarks/results/runtime_localization.{txt,json}``:
+
+1. **Byte-identity** — the ``--no-timing`` JSONL rows (diagnosis blocks
+   included) must match exactly across worker counts (the
+   `localization-determinism` CI gate);
+2. **Accuracy floor** — merged across jobs, the localizer must keep
+   corruption precision ≥ 0.8 and never disable a congestion-only link;
+3. **Scaling** — wall-clock ratio is recorded always and asserted ≥2.5×
+   only where 4 CPU cores actually exist.
+"""
+
+import json
+
+from conftest import write_benchmark_json, write_report
+
+from repro.core.diagnosis import DiagnosisStats
+from repro.parallel import ParallelRunner, worker_cache
+from repro.parallel.aggregate import sweep_rows
+from repro.parallel.grid import GridSpec
+from repro.parallel.runner import available_cpus
+
+POOL_WORKERS = 4
+TARGET_SPEEDUP = 2.5
+MIN_CORRUPTION_PRECISION = 0.8
+
+LOCALIZATION_GRID = GridSpec(
+    presets=["medium"],
+    chaos_presets=["none", "mild"],
+    capacities=[0.75],
+    trace_seeds=[0, 1, 2, 3],
+    scale=0.06,
+    duration_days=2.0,
+    events_per_10k=400.0,
+    congestion_presets=["hotspots"],
+    miswire_pairs=4,
+    sensing="voting",
+)
+
+_REPORT = []
+_METRICS = {}
+
+
+def _canonical(sweep):
+    rows = sweep_rows(sweep, timing=False)
+    return "\n".join(
+        json.dumps(row, sort_keys=True, separators=(",", ":")) for row in rows
+    )
+
+
+def test_localization_grid_identical_and_timed():
+    specs = LOCALIZATION_GRID.expand()
+    assert len(specs) == 8
+    assert all(spec.sensing == "voting" for spec in specs)
+    worker_cache().clear()
+    serial = ParallelRunner(jobs=1).run(specs)
+    worker_cache().clear()
+    pooled = ParallelRunner(jobs=POOL_WORKERS).run(specs)
+
+    assert all(r.ok for r in serial.records)
+    assert all(r.ok for r in pooled.records)
+    assert _canonical(serial) == _canonical(pooled), (
+        "localization sweep rows diverged from serial"
+    )
+
+    merged = DiagnosisStats()
+    for record in pooled.records:
+        assert record.result.diagnosis is not None
+        merged.merge(record.result.diagnosis)
+    row = merged.row()
+    precision = row.get("precision_corruption")
+    assert merged.diagnoses > 0, "voting localizer produced no verdicts"
+    assert precision is not None and precision >= MIN_CORRUPTION_PRECISION, (
+        f"corruption precision {precision} below {MIN_CORRUPTION_PRECISION}"
+    )
+    assert merged.congestion_mitigations == 0, (
+        "a congestion-only link was disabled"
+    )
+    violations = sum(
+        0 if r.result.invariants_ok() else 1 for r in pooled.records
+    )
+    assert violations == 0, f"{violations} jobs broke chaos invariants"
+
+    speedup = serial.wall_s / max(pooled.wall_s, 1e-9)
+    cores = available_cpus()
+    _REPORT.extend(
+        [
+            "localization sweep: 8-job voting grid "
+            "(2 fault presets x 4 trace seeds, hotspots co-model, "
+            f"4 miswired pairs), {cores} core(s)",
+            f"  serial      {serial.wall_s:7.2f} s  "
+            f"(cache {serial.cache_stats['misses']} builds, "
+            f"{serial.cache_stats['hits']} hits)",
+            f"  {POOL_WORKERS} workers   {pooled.wall_s:7.2f} s  "
+            f"speedup {speedup:.1f}x",
+            "  rows byte-identical across --jobs: yes",
+            f"  verdicts {merged.diagnoses}, "
+            f"corruption precision {precision:.3f}, "
+            f"congestion-only disables {merged.congestion_mitigations}, "
+            f"corrupting links missed {merged.missed_corrupting}",
+        ]
+    )
+    _METRICS["serial_s"] = round(serial.wall_s, 3)
+    _METRICS["pool_s"] = round(pooled.wall_s, 3)
+    _METRICS["speedup"] = round(speedup, 2)
+    _METRICS["jobs"] = len(specs)
+    _METRICS["pool_workers"] = POOL_WORKERS
+    _METRICS["cores"] = cores
+    _METRICS["rows_byte_identical"] = True
+    _METRICS["diagnoses"] = merged.diagnoses
+    _METRICS["precision_corruption"] = round(precision, 4)
+    _METRICS["congestion_only_disables"] = merged.congestion_mitigations
+    _METRICS["missed_corrupting"] = merged.missed_corrupting
+    if cores >= POOL_WORKERS:
+        assert speedup >= TARGET_SPEEDUP, (
+            f"localization speedup {speedup:.2f}x below {TARGET_SPEEDUP}x "
+            f"with {cores} cores"
+        )
+
+
+def test_write_report():
+    """Runs last: persist whatever the measurement appended."""
+    assert _REPORT, "measurement did not run"
+    write_report(
+        "runtime_localization",
+        [
+            "Voting localizer through the parallel runner: serial vs "
+            f"{POOL_WORKERS}-worker pool",
+            "",
+        ]
+        + _REPORT,
+    )
+    write_benchmark_json("runtime_localization", _METRICS)

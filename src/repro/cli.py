@@ -39,21 +39,15 @@ import json
 import sys
 from typing import List, Optional
 
-#: Every runnable mitigation strategy, kept as a literal so ``--help``
-#: works without importing the simulation stack.  Pinned against
-#: ``repro.simulation.strategies.STRATEGY_NAMES`` by the registry test.
-STRATEGY_CHOICES = (
-    "corropt",
-    "fast-checker-only",
-    "switch-local",
-    "none",
-    "drain",
-    "linkguardian",
-    "lg+corropt",
+#: Choice tuples are aliases into :mod:`repro.registry` (stdlib-only),
+#: so ``--help`` works without importing the simulation stack while the
+#: names stay pinned to the single canonical registry.
+from repro.registry import (
+    CONGESTION_PRESETS as CONGESTION_CHOICES,
+    PENALTIES as PENALTY_CHOICES,
+    SENSING_PIPELINES as SENSING_CHOICES,
+    STRATEGIES as STRATEGY_CHOICES,
 )
-
-#: Penalty-function names; pinned against ``repro.core.penalty``.
-PENALTY_CHOICES = ("linear", "tcp-throughput", "step")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -138,6 +132,27 @@ def _health_summary_line(report) -> str:
         f"alerts {row['alerts_fired']} "
         f"-> SLO {'OK' if row['slo_ok'] else 'FIRING'}"
     )
+
+
+def _diagnosis_summary_lines(stats) -> List[str]:
+    """Cause-attribution digest for chaos / localize run summaries."""
+    lines = [
+        f"diagnosis: {stats.diagnoses} verdicts, "
+        f"{stats.congestion_mitigations} congestion-only links disabled "
+        f"(must be 0), "
+        f"{stats.missed_corrupting} corrupting links missed"
+    ]
+    row = stats.row()
+    for cause in ("corruption", "congestion", "both", "miswired"):
+        precision = row.get(f"precision_{cause}")
+        recall = row.get(f"recall_{cause}")
+        if precision is None and recall is None:
+            continue
+        fmt = lambda v: "n/a" if v is None else f"{v:.3f}"
+        lines.append(
+            f"  {cause:<10s} precision {fmt(precision)}  recall {fmt(recall)}"
+        )
+    return lines
 
 
 def _wants_obs(args: argparse.Namespace) -> bool:
@@ -386,6 +401,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 if args.lg_coverages
                 else None
             ),
+            congestion_presets=(
+                parse_str_list(args.congestion_presets)
+                if args.congestion_presets
+                else None
+            ),
+            miswire_pairs=args.miswire_pairs,
+            sensing=args.sensing,
         )
     specs = grid.expand()
     runner = ParallelRunner(
@@ -531,6 +553,11 @@ def _cmd_chaos_campaign(args: argparse.Namespace) -> int:
         events_per_10k=args.events,
         repair_accuracy=args.repair_accuracy,
         fault_seed=args.fault_seed,
+        congestion_presets=(
+            [args.congestion_preset] if args.congestion_preset else None
+        ),
+        miswire_pairs=args.miswire_pairs,
+        sensing=args.sensing,
     )
     runner = ParallelRunner(
         jobs=args.jobs, max_retries=args.retries, timeout_s=args.timeout
@@ -551,6 +578,103 @@ def _cmd_chaos_campaign(args: argparse.Namespace) -> int:
         write_sweep_jsonl(args.out, sweep, timing=not args.no_timing)
         print(f"chaos campaign results: {args.out}")
     return 0 if not sweep.failures() and violations == 0 else 1
+
+
+def _cmd_localize(args: argparse.Namespace) -> int:
+    """Run the diagnosis-accuracy campaign: sensing × congestion × miswiring.
+
+    Each cell of the cross-product runs every trace seed as one
+    ``kind="chaos"`` job; per-cell :class:`~repro.core.diagnosis.
+    DiagnosisStats` are merged across seeds into an accuracy report
+    (per-cause precision/recall, congestion links spared, corrupting
+    links missed).  Results are byte-identical across ``--jobs`` with
+    ``--no-timing``, like any sweep.
+    """
+    from repro.core.diagnosis import DiagnosisStats
+    from repro.parallel import (
+        GridSpec,
+        ParallelRunner,
+        parse_int_list,
+        parse_str_list,
+        summary_lines,
+        write_sweep_jsonl,
+    )
+
+    sensings = parse_str_list(args.sensing)
+    congestions = parse_str_list(args.congestion_presets)
+    pair_counts = parse_int_list(args.miswire_pairs)
+    specs = []
+    for sensing in sensings:
+        for pairs in pair_counts:
+            grid = GridSpec(
+                presets=["medium"],
+                chaos_presets=[args.chaos_preset],
+                capacities=[args.capacity],
+                trace_seeds=parse_int_list(args.seeds),
+                scale=args.scale,
+                duration_days=args.days,
+                events_per_10k=args.events,
+                repair_accuracy=args.repair_accuracy,
+                fault_seed=args.fault_seed,
+                congestion_presets=congestions,
+                miswire_pairs=pairs,
+                sensing=sensing,
+            )
+            specs.extend(grid.expand())
+    runner = ParallelRunner(
+        jobs=args.jobs, max_retries=args.retries, timeout_s=args.timeout
+    )
+    sweep = runner.run(specs)
+    for line in summary_lines(sweep):
+        print(line)
+
+    # Merge per-seed ledgers into one DiagnosisStats per campaign cell.
+    cells = {}
+    for record in sweep.ok_records():
+        diagnosis = getattr(record.result, "diagnosis", None)
+        key = (
+            record.spec.sensing,
+            record.spec.congestion_preset or "none",
+            record.spec.miswire_pairs,
+        )
+        merged = cells.setdefault(key, DiagnosisStats())
+        if diagnosis is not None:
+            merged.merge(diagnosis)
+    print("localization accuracy (per sensing × congestion × miswiring):")
+    report_cells = []
+    for key in sorted(cells, key=lambda k: (k[0], k[1], k[2])):
+        sensing, congestion, pairs = key
+        merged = cells[key]
+        label = f"{sensing:<10s} congestion={congestion:<9s} miswire={pairs}"
+        if merged.diagnoses == 0:
+            print(f"  {label}  (no diagnosis layer active)")
+        else:
+            print(f"  {label}")
+            for line in _diagnosis_summary_lines(merged):
+                print(f"    {line}")
+        report_cells.append(
+            {
+                "sensing": sensing,
+                "congestion_preset": congestion,
+                "miswire_pairs": pairs,
+                **merged.row(),
+            }
+        )
+    if args.out:
+        write_sweep_jsonl(args.out, sweep, timing=not args.no_timing)
+        print(f"localize results: {args.out}")
+    if args.report_out:
+        report = {
+            "format": "repro-localize-report",
+            "format_version": 1,
+            "seeds": parse_int_list(args.seeds),
+            "cells": report_cells,
+        }
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        print(f"accuracy report: {args.report_out}")
+    return 0 if not sweep.failures() else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -597,6 +721,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         config,
         repair_accuracy=args.repair_accuracy,
         seed=args.seed,
+        congestion_preset=args.congestion_preset,
+        miswire_pairs=args.miswire_pairs,
+        sensing=args.sensing,
         obs=obs,
         slo_rules=_load_slo_rules(args),
     )
@@ -627,6 +754,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"{chaos.false_disables} false disables"
     )
     print(f"penalty integral: {result.penalty_integral:.3e}")
+    if getattr(result, "diagnosis", None) is not None:
+        for line in _diagnosis_summary_lines(result.diagnosis):
+            print(line)
     optimizer_stats = getattr(result.controller_log, "optimizer_stats", None)
     if optimizer_stats is not None and optimizer_stats.runs:
         print(f"optimizer: {optimizer_stats.summary()}")
@@ -679,6 +809,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             fault_seed=args.fault_seed,
             chaos_preset=args.chaos_preset,
+            congestion_preset=args.congestion_preset,
+            miswire_pairs=args.miswire_pairs,
             events_per_10k_links_per_day=args.events,
             poll_interval_s=args.poll_interval,
             repair_accuracy=args.repair_accuracy,
@@ -818,6 +950,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"capacity violations {chaos.capacity_violations} "
         f"-> {'OK' if result.invariants_ok() else 'VIOLATED'}"
     )
+    if getattr(result, "diagnosis", None) is not None:
+        for line in _diagnosis_summary_lines(result.diagnosis):
+            print(line)
     if result.health is not None:
         print(_health_summary_line(result.health))
     if args.out:
@@ -1420,6 +1555,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list of LinkGuardian coverage fractions; adds a "
              "grid axis (simulate grids only)",
     )
+    sweep.add_argument(
+        "--congestion-presets", default=None, metavar="NAMES",
+        help="comma list of congestion co-model presets "
+             "(none,hotspots,incast); adds a diagnosis axis "
+             "(chaos grids only)",
+    )
+    sweep.add_argument(
+        "--miswire-pairs", type=int, default=0, metavar="N",
+        help="cable pairs with a swapped inventory map "
+             "(chaos grids only; 0 = wiring map correct)",
+    )
+    sweep.add_argument(
+        "--sensing", choices=list(SENSING_CHOICES), default="telemetry",
+        help="sensing pipeline for chaos grids "
+             "(counter telemetry or 007-style flow voting)",
+    )
     sweep.add_argument("--scale", type=float, default=0.25)
     sweep.add_argument("--days", type=float, default=30.0)
     sweep.add_argument("--events", type=float, default=4.0)
@@ -1547,6 +1698,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--fault-seed", type=int, default=0)
     chaos.add_argument("--repair-accuracy", type=float, default=0.8)
     chaos.add_argument(
+        "--congestion-preset", default=None,
+        choices=list(CONGESTION_CHOICES),
+        help="add a congestion co-model (queue loss, no FCS signature) "
+             "and activate the diagnosis layer",
+    )
+    chaos.add_argument(
+        "--miswire-pairs", type=int, default=0, metavar="N",
+        help="swap the inventory map of N cable pairs (A3 miswiring); "
+             "activates the diagnosis layer and the probe cross-check",
+    )
+    chaos.add_argument(
+        "--sensing", choices=list(SENSING_CHOICES), default="telemetry",
+        help="sensing pipeline: per-port counter telemetry or "
+             "007-style flow voting",
+    )
+    chaos.add_argument(
         "--events", type=float, default=400.0,
         help="fault arrival intensity (events/10K links/day) for "
              "campaign runs",
@@ -1578,6 +1745,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(func=_cmd_chaos)
 
+    localize = sub.add_parser(
+        "localize",
+        help="diagnosis-accuracy campaign: sensing × congestion × miswiring",
+    )
+    localize.add_argument(
+        "--sensing", default="telemetry,voting", metavar="NAMES",
+        help="comma list of sensing pipelines to compare "
+             "(telemetry,voting)",
+    )
+    localize.add_argument(
+        "--congestion-presets", default="none,hotspots", metavar="NAMES",
+        help="comma list of congestion co-model presets "
+             "(none,hotspots,incast)",
+    )
+    localize.add_argument(
+        "--miswire-pairs", default="0", metavar="LIST",
+        help="comma list of swapped-cable-pair counts (A3 miswiring)",
+    )
+    localize.add_argument(
+        "--chaos-preset", default="none",
+        choices=["none", "mild", "harsh", "reboot-storm", "flaky-collector"],
+        help="telemetry-fault mix layered under every cell",
+    )
+    localize.add_argument("--seeds", default="0", metavar="LIST",
+                          help="trace seeds: comma list or 'a:b' range")
+    localize.add_argument("--days", type=float, default=4.0)
+    localize.add_argument("--scale", type=float, default=0.12)
+    localize.add_argument("--capacity", type=float, default=0.75)
+    localize.add_argument("--fault-seed", type=int, default=0)
+    localize.add_argument("--repair-accuracy", type=float, default=0.8)
+    localize.add_argument(
+        "--events", type=float, default=400.0,
+        help="fault arrival intensity (events/10K links/day)",
+    )
+    localize.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (0 = all CPUs)")
+    localize.add_argument("--retries", type=int, default=2,
+                          help="retry budget per job")
+    localize.add_argument("--timeout", type=float, default=None,
+                          help="no-progress watchdog in seconds")
+    localize.add_argument("--out", metavar="FILE.jsonl",
+                          help="write per-job results as canonical JSONL")
+    localize.add_argument(
+        "--report-out", metavar="FILE.json",
+        help="write the merged per-cell accuracy report here",
+    )
+    localize.add_argument(
+        "--no-timing", action="store_true",
+        help="omit wall-clock fields so outputs are byte-identical "
+             "across --jobs values",
+    )
+    localize.set_defaults(func=_cmd_localize)
+
     serve = sub.add_parser(
         "serve",
         help="long-running controller service with checkpoint/restore",
@@ -1592,6 +1812,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-preset", default=None,
         choices=["none", "mild", "harsh", "reboot-storm", "flaky-collector"],
         help="inject this telemetry-fault mix into the live stream",
+    )
+    serve.add_argument(
+        "--congestion-preset", default=None,
+        choices=list(CONGESTION_CHOICES),
+        help="add a congestion co-model and activate the diagnosis layer",
+    )
+    serve.add_argument(
+        "--miswire-pairs", type=int, default=0, metavar="N",
+        help="swap the inventory map of N cable pairs (A3 miswiring)",
     )
     serve.add_argument("--events", type=float, default=400.0,
                        help="fault arrival intensity (events/10K links/day)")

@@ -7,6 +7,7 @@ so the §2–3 contrast analyses have both sides of the comparison.
 """
 
 from repro.congestion.losses import CongestionModel
+from repro.congestion.presets import CONGESTION_PRESETS, congestion_model
 from repro.congestion.queueing import (
     DEEP_BUFFER_K,
     SHALLOW_BUFFER_K,
@@ -16,12 +17,14 @@ from repro.congestion.queueing import (
 from repro.congestion.traffic import DAY_S, TrafficProfile, sample_profile
 
 __all__ = [
+    "CONGESTION_PRESETS",
     "CongestionModel",
     "DAY_S",
     "DEEP_BUFFER_K",
     "SHALLOW_BUFFER_K",
     "TrafficProfile",
     "congestion_loss_rate",
+    "congestion_model",
     "mm1k_loss",
     "sample_profile",
 ]

@@ -1,0 +1,52 @@
+"""Named congestion co-model presets for chaos / localization runs.
+
+A preset names a :class:`~repro.congestion.losses.CongestionModel`
+parameterization; the sensing pipeline feeds its utilization through the
+poller's traffic callable and its queue losses through the *drops*
+channel only — congestion carries no FCS signature (§3), which is
+exactly what the diagnosis layer discriminates on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.congestion.losses import CongestionModel
+from repro.topology.graph import Topology
+
+#: Preset name → CongestionModel kwargs (``None`` = no co-model).
+#: Pinned against ``repro.registry.CONGESTION_PRESETS``.
+CONGESTION_PRESETS: Dict[str, Optional[Dict[str, float]]] = {
+    # No congestion substrate at all — byte-identical to a pre-diagnosis
+    # run (the compatibility shim's explicit spelling).
+    "none": None,
+    # The §3 default: ~12% of pods run hot, a couple of hot aggregation
+    # switches, 75% of hot links lossy in both directions.
+    "hotspots": dict(
+        hotspot_pod_fraction=0.12,
+        hotspot_switch_fraction=0.02,
+        bidirectional_hot_probability=0.75,
+    ),
+    # Adversarial overlap regime: enough hot pods that corrupting links
+    # frequently sit inside one, forcing cause="both" verdicts.
+    "incast": dict(
+        hotspot_pod_fraction=0.30,
+        hotspot_switch_fraction=0.08,
+        bidirectional_hot_probability=0.9,
+    ),
+}
+
+
+def congestion_model(
+    name: str, topo: Topology, seed: int = 0
+) -> Optional[CongestionModel]:
+    """Build the named preset's model over ``topo`` (``None`` for "none")."""
+    if name not in CONGESTION_PRESETS:
+        raise ValueError(
+            f"unknown congestion preset {name!r}; "
+            f"choose from {sorted(CONGESTION_PRESETS)}"
+        )
+    kwargs = CONGESTION_PRESETS[name]
+    if kwargs is None:
+        return None
+    return CongestionModel(topo, seed=seed, **kwargs)

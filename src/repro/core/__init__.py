@@ -14,10 +14,19 @@ Components:
 - :class:`~repro.core.recommendation.RecommendationEngine` — Algorithm 1;
 - :class:`~repro.core.controller.CorrOptController` — the Figure-13
   workflow tying them together;
-- penalty functions ``I(f)`` (:mod:`repro.core.penalty`).
+- penalty functions ``I(f)`` (:mod:`repro.core.penalty`);
+- the sensing → controller cause-attribution contract
+  (:mod:`repro.core.diagnosis`).
 """
 
 from repro.core.constraints import CapacityConstraint, connectivity_constraint
+from repro.core.diagnosis import (
+    ACTIONABLE_CAUSES,
+    CAUSES,
+    CauseClassifier,
+    DiagnosisStats,
+    LinkDiagnosis,
+)
 from repro.core.controller import (
     ControllerDecision,
     ControllerLog,
@@ -63,12 +72,17 @@ from repro.core.switch_local import (
 )
 
 __all__ = [
+    "ACTIONABLE_CAUSES",
     "AuditLog",
     "AuditRecord",
     "BreakerState",
+    "CAUSES",
     "CapacityConstraint",
+    "CauseClassifier",
     "CircuitBreaker",
     "ControllerDecision",
+    "DiagnosisStats",
+    "LinkDiagnosis",
     "OnsetDebouncer",
     "retry_with_backoff",
     "ControllerLog",

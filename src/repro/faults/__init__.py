@@ -26,6 +26,7 @@ from repro.faults.root_causes import (
     repairs_that_fix,
     sample_root_cause,
 )
+from repro.faults.miswiring import MiswiringFault
 from repro.faults.shared_component import SharedComponentFault
 from repro.faults.telemetry_faults import (
     CounterResetFault,
@@ -57,6 +58,7 @@ __all__ = [
     "LOOSE_PROBABILITY",
     "LinkCondition",
     "MissedPollFault",
+    "MiswiringFault",
     "REFLECTIVE_PROBABILITY",
     "RootCause",
     "SharedComponentFault",

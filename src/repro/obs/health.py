@@ -171,6 +171,16 @@ class HealthTracker:
             _ShardStats() for _ in range(max(1, num_shards))
         ]
 
+        #: Optional cause-attribution ledger (:class:`repro.core.
+        #: diagnosis.DiagnosisStats`), attached by diagnosis-aware
+        #: pipelines.  ``None`` on historical configurations so their
+        #: scorecards are byte-identical.
+        self.diagnosis = None
+
+    def attach_diagnosis(self, stats) -> None:
+        """Surface a pipeline's diagnosis ledger in health reports."""
+        self.diagnosis = stats
+
     # -- routing -------------------------------------------------------- #
 
     def _shard(self, link_id: LinkId) -> _ShardStats:
@@ -405,6 +415,9 @@ class HealthTracker:
             alerts=list(self.slo.alerts),
             complete=complete,
             end_s=end_s,
+            diagnosis=(
+                self.diagnosis.row() if self.diagnosis is not None else None
+            ),
         )
 
 
@@ -420,6 +433,10 @@ class HealthReport:
     alerts: List[Dict[str, object]]
     complete: bool
     end_s: float
+    #: Flat diagnosis-accuracy block (``DiagnosisStats.row()``); ``None``
+    #: unless the run was diagnosis-aware, keeping legacy scorecards
+    #: byte-identical.
+    diagnosis: Optional[Dict[str, object]] = None
 
     def firing(self) -> List[str]:
         return [
@@ -470,6 +487,8 @@ class HealthReport:
                 "ok": not self.firing(),
             },
         }
+        if self.diagnosis is not None:
+            card["diagnosis"] = self.diagnosis
         if extra:
             card.update(extra)
         return card
@@ -630,6 +649,23 @@ def summarize_scorecard(card: Dict[str, object]) -> List[str]:
             f"false={shard['false_disables']} "
             f"breaker_duty={_fmt(shard['breaker_open_duty'])}"
         )
+    diagnosis = card.get("diagnosis")
+    if diagnosis:
+        lines.append(
+            "  diagnosis: "
+            f"{diagnosis.get('diagnoses', 0)} verdicts, "
+            f"congestion_mitigations={diagnosis.get('congestion_mitigations', 0)} "
+            f"missed_corrupting={diagnosis.get('missed_corrupting', 0)}"
+        )
+        for cause in ("corruption", "congestion", "both", "miswired", "unknown"):
+            precision = diagnosis.get(f"precision_{cause}")
+            recall = diagnosis.get(f"recall_{cause}")
+            if precision is None and recall is None:
+                continue
+            lines.append(
+                f"    {cause}: precision={_fmt(precision)} "
+                f"recall={_fmt(recall)}"
+            )
     slo = card.get("slo", {})
     firing = slo.get("firing", [])
     lines.append(

@@ -13,6 +13,9 @@ import json
 import re
 from typing import Dict, List, Sequence
 
+from repro.registry import SENSING_PIPELINES as _SENSING_PIPELINES
+from repro.registry import STRATEGIES as SWEEP_STRATEGY_NAMES
+
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?P<labels>\{[^}]*\})?"
@@ -182,20 +185,9 @@ def validate_audit_jsonl(lines: Sequence[str]) -> List[str]:
     return problems
 
 
-#: Strategy names a sweep/tournament row may carry.  Kept as a literal
-#: so the schema module stays import-light; pinned against
-#: :data:`repro.simulation.strategies.STRATEGY_NAMES` by the registry
-#: test.
-SWEEP_STRATEGY_NAMES = (
-    "corropt",
-    "fast-checker-only",
-    "switch-local",
-    "none",
-    "drain",
-    "linkguardian",
-    "lg+corropt",
-)
-
+#: ``SWEEP_STRATEGY_NAMES`` (the strategy names a sweep/tournament row
+#: may carry) is an alias into :mod:`repro.registry` — itself
+#: stdlib-only, so the schema module stays import-light.
 
 #: Integer-count chaos columns every ok chaos row must carry.
 CHAOS_COUNT_COLUMNS = (
@@ -280,6 +272,58 @@ def _health_row_problems(health: object, where: str) -> List[str]:
             problems.append(f"{where}: health missing numeric {key!r}")
     if not isinstance(health.get("slo_ok"), bool):
         problems.append(f"{where}: health missing boolean 'slo_ok'")
+    return problems
+
+
+#: Integer counters every sweep-row ``diagnosis`` block must carry
+#: (DiagnosisStats.row() plus the spec axes stamped by the aggregator).
+_DIAGNOSIS_ROW_INT_KEYS = (
+    "diagnoses",
+    "congestion_mitigations",
+    "missed_corrupting",
+)
+
+
+def _diagnosis_row_problems(diagnosis: object, where: str) -> List[str]:
+    """Problems with one sweep-row ``diagnosis`` block (empty = valid).
+
+    The block is optional — plain chaos rows (no congestion co-model, no
+    miswiring, telemetry sensing) omit it entirely — but when present it
+    must carry the sensing/congestion/miswire axes plus the confusion
+    counters, and every ``precision_*``/``recall_*`` column must be
+    numeric or null (null = cause never seen in truth/verdicts).
+    """
+    if not isinstance(diagnosis, dict):
+        return [f"{where}: 'diagnosis' is not an object"]
+    problems: List[str] = []
+    if diagnosis.get("sensing") not in _SENSING_PIPELINES:
+        problems.append(
+            f"{where}: diagnosis has unknown sensing "
+            f"{diagnosis.get('sensing')!r}"
+        )
+    preset = diagnosis.get("congestion_preset")
+    if preset is not None and not isinstance(preset, str):
+        problems.append(
+            f"{where}: diagnosis 'congestion_preset' must be string or null"
+        )
+    pairs = diagnosis.get("miswire_pairs")
+    if not isinstance(pairs, int) or isinstance(pairs, bool) or pairs < 0:
+        problems.append(
+            f"{where}: diagnosis missing non-negative integer 'miswire_pairs'"
+        )
+    for key in _DIAGNOSIS_ROW_INT_KEYS:
+        value = diagnosis.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(f"{where}: diagnosis missing integer {key!r}")
+    for key, value in diagnosis.items():
+        if not key.startswith(("precision_", "recall_")):
+            continue
+        if value is not None and (
+            not isinstance(value, (int, float)) or isinstance(value, bool)
+        ):
+            problems.append(
+                f"{where}: diagnosis {key!r} must be numeric or null"
+            )
     return problems
 
 
@@ -471,6 +515,12 @@ def validate_sweep_jsonl(lines: Sequence[str]) -> List[str]:
                         record.get("health"), f"line {lineno}"
                     )
                 )
+                if "diagnosis" in record:
+                    problems.extend(
+                        _diagnosis_row_problems(
+                            record["diagnosis"], f"line {lineno}"
+                        )
+                    )
         elif status == "failed":
             error = record.get("error")
             if not (isinstance(error, dict) and error.get("kind")):

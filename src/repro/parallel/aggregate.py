@@ -105,6 +105,14 @@ def record_row(
             }
         if result.health is not None:
             row["health"] = result.health.row()
+        if getattr(result, "diagnosis", None) is not None:
+            diagnosis = {
+                "sensing": record.spec.sensing,
+                "congestion_preset": record.spec.congestion_preset,
+                "miswire_pairs": record.spec.miswire_pairs,
+            }
+            diagnosis.update(result.diagnosis.row())
+            row["diagnosis"] = diagnosis
     if record.ok and record.payload is not None:
         row["payload"] = dict(record.payload)
     if not record.ok:

@@ -77,6 +77,14 @@ class GridSpec:
     #: Optional per-strategy knob values, e.g.
     #: ``{"switch-local": {"sc": 0.9}}``; attached to matching jobs.
     strategy_knobs: Optional[Dict[str, Dict[str, float]]] = None
+    #: Optional congestion co-model *axis* for chaos grids; ``None``
+    #: collapses to no co-model so pre-diagnosis grids expand
+    #: byte-identically.
+    congestion_presets: Optional[List[str]] = None
+    #: Miswired link pairs per chaos job (scalar; 0 = wiring map correct).
+    miswire_pairs: int = 0
+    #: Sensing pipeline for chaos jobs (``telemetry`` or ``voting``).
+    sensing: str = "telemetry"
 
     def __post_init__(self):
         if self.repair_seeds is not None and len(self.repair_seeds) != len(
@@ -89,7 +97,7 @@ class GridSpec:
 
     def expand(self) -> List[JobSpec]:
         """Flatten to jobs in (preset, capacity, penalty, strategy,
-        lg-coverage, seed) order.
+        congestion, lg-coverage, seed) order.
 
         Chaos grids substitute the chaos-preset axis for the strategy
         axis at the same nesting depth, so both kinds of sweep stay
@@ -106,11 +114,26 @@ class GridSpec:
                 )
             middle_axis = [("chaos", None, name) for name in self.chaos_presets]
         else:
+            if (
+                self.congestion_presets
+                or self.miswire_pairs
+                or self.sensing != "telemetry"
+            ):
+                raise ValueError(
+                    "congestion_presets/miswire_pairs/sensing are diagnosis "
+                    "axes of chaos grids (set chaos_presets)"
+                )
             middle_axis = [
                 ("simulate", strategy, None) for strategy in self.strategies
             ]
         penalties = self.penalties if self.penalties else [self.penalty]
         coverages = self.lg_coverages if self.lg_coverages else [0.0]
+        # The congestion axis collapses to a single no-co-model cell when
+        # unset, so pre-diagnosis grids expand to the exact job list (and
+        # derived seeds) they had before the axis existed.
+        congestions = (
+            self.congestion_presets if self.congestion_presets else [None]
+        )
         knob_map = self.strategy_knobs or {}
         for preset in self.presets:
             for capacity in self.capacities:
@@ -119,42 +142,64 @@ class GridSpec:
                         knobs = tuple(
                             sorted(knob_map.get(strategy or "", {}).items())
                         )
-                        for coverage in coverages:
-                            for position, trace_seed in enumerate(
-                                self.trace_seeds
-                            ):
-                                repair_seed = None
-                                if self.repair_seeds is not None:
-                                    repair_seed = self.repair_seeds[position]
-                                specs.append(
-                                    JobSpec(
-                                        kind=kind,
-                                        preset=preset,
-                                        scale=self.scale,
-                                        duration_days=self.duration_days,
-                                        trace_seed=trace_seed,
-                                        events_per_10k=self.events_per_10k,
-                                        capacity=capacity,
-                                        strategy=strategy or "corropt",
-                                        penalty=penalty,
-                                        repair_accuracy=self.repair_accuracy,
-                                        repair_seed=repair_seed,
-                                        track_capacity=self.track_capacity,
-                                        service_days=self.service_days,
-                                        full_repair_cycles=(
-                                            self.full_repair_cycles
-                                        ),
-                                        technician_pool=self.technician_pool,
-                                        chaos_preset=chaos_name,
-                                        fault_seed=(
-                                            self.fault_seed
-                                            if chaos_name is not None
-                                            else 0
-                                        ),
-                                        knobs=knobs,
-                                        lg_coverage=coverage,
+                        for congestion in congestions:
+                            for coverage in coverages:
+                                for position, trace_seed in enumerate(
+                                    self.trace_seeds
+                                ):
+                                    repair_seed = None
+                                    if self.repair_seeds is not None:
+                                        repair_seed = self.repair_seeds[
+                                            position
+                                        ]
+                                    specs.append(
+                                        JobSpec(
+                                            kind=kind,
+                                            preset=preset,
+                                            scale=self.scale,
+                                            duration_days=self.duration_days,
+                                            trace_seed=trace_seed,
+                                            events_per_10k=(
+                                                self.events_per_10k
+                                            ),
+                                            capacity=capacity,
+                                            strategy=strategy or "corropt",
+                                            penalty=penalty,
+                                            repair_accuracy=(
+                                                self.repair_accuracy
+                                            ),
+                                            repair_seed=repair_seed,
+                                            track_capacity=(
+                                                self.track_capacity
+                                            ),
+                                            service_days=self.service_days,
+                                            full_repair_cycles=(
+                                                self.full_repair_cycles
+                                            ),
+                                            technician_pool=(
+                                                self.technician_pool
+                                            ),
+                                            chaos_preset=chaos_name,
+                                            fault_seed=(
+                                                self.fault_seed
+                                                if chaos_name is not None
+                                                else 0
+                                            ),
+                                            knobs=knobs,
+                                            lg_coverage=coverage,
+                                            congestion_preset=congestion,
+                                            miswire_pairs=(
+                                                self.miswire_pairs
+                                                if chaos_name is not None
+                                                else 0
+                                            ),
+                                            sensing=(
+                                                self.sensing
+                                                if chaos_name is not None
+                                                else "telemetry"
+                                            ),
+                                        )
                                     )
-                                )
         return specs
 
     def to_dict(self) -> Dict[str, Any]:

@@ -22,60 +22,21 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional, Tuple
 
-#: Strategy names a spec may request (superset of the §7.1 lineup; the
-#: §8 drain extension is opt-in and never added to comparison campaigns
-#: implicitly).
-KNOWN_STRATEGIES = (
-    "corropt",
-    "fast-checker-only",
-    "switch-local",
-    "none",
-    "drain",
-    "linkguardian",
-    "lg+corropt",
+from repro.registry import (
+    CHAOS_PRESETS as KNOWN_CHAOS_PRESETS,
+    CONGESTION_PRESETS as KNOWN_CONGESTION_PRESETS,
+    JOB_KINDS as KNOWN_KINDS,
+    PENALTIES as KNOWN_PENALTIES,
+    SCENARIO_PRESETS as KNOWN_PRESETS,
+    SENSING_PIPELINES as KNOWN_SENSING,
+    STRATEGIES as KNOWN_STRATEGIES,
+    STRATEGY_KNOBS as KNOWN_STRATEGY_KNOBS,
+    TOPO_KINDS as KNOWN_TOPO_KINDS,
 )
 
-#: Per-strategy knobs a simulate-job ``knobs`` tuple may carry.  Kept as
-#: a literal so the spec module stays import-light; pinned against
-#: :data:`repro.simulation.strategies.STRATEGY_KNOBS` by the registry
-#: test.
-KNOWN_STRATEGY_KNOBS = {
-    "corropt": (),
-    "fast-checker-only": (),
-    "switch-local": ("sc",),
-    "none": (),
-    "drain": (),
-    "linkguardian": ("max_loss_rate",),
-    "lg+corropt": ("max_loss_rate",),
-}
-
-#: Penalty functions addressable by name (see :mod:`repro.core.penalty`).
-KNOWN_PENALTIES = ("linear", "tcp-throughput", "step")
-
-#: Built-in scenario presets (resolved in :mod:`repro.parallel.worker`).
-KNOWN_PRESETS = ("medium", "large")
-
-#: Job kinds: real simulation runs (oracle sensing), closed-loop chaos
-#: runs (telemetry sensing), and deterministic harness-calibration jobs
-#: (spin/sleep/crash/hang) used by the runner's own tests and the
-#: pool-overhead benchmark.
-KNOWN_KINDS = ("simulate", "chaos", "calibrate")
-
-#: Telemetry-fault presets addressable by a chaos spec.  Kept as a
-#: literal so the spec module stays import-light; pinned against
-#: :data:`repro.simulation.chaos.CHAOS_PRESETS` by the parallel tests.
-KNOWN_CHAOS_PRESETS = (
-    "none",
-    "mild",
-    "harsh",
-    "reboot-storm",
-    "flaky-collector",
-)
-
-#: Topology families a spec may request.  ``"clos"`` is the historical
-#: plane-wired Clos; ``"fattree"`` builds a k-ary fat-tree sized from
-#: the profile (heterogeneous-fleet campaigns mix both).
-KNOWN_TOPO_KINDS = ("clos", "fattree")
+# The KNOWN_* names are aliases into :mod:`repro.registry` (the single
+# source of truth for every by-name preset), re-exported here because
+# campaign code and tests historically import them from this module.
 
 
 @dataclass(frozen=True)
@@ -129,6 +90,17 @@ class JobSpec:
         breakout_fraction: Fraction of links grouped into breakout
             cables on the scenario's base topology (§4 root cause 5).
             Omitted from the canonical JSON when 0.0, likewise.
+        congestion_preset: Named congestion co-model for chaos jobs
+            (queue loss correlated with utilization, no FCS signature);
+            ``None`` for every other kind.  Omitted from the canonical
+            JSON when unset, so pre-diagnosis specs keep their derived
+            seeds.
+        miswire_pairs: Disjoint link pairs whose telemetry attribution
+            is swapped (A3-style wrong inventory map) on chaos jobs.
+            Omitted from the canonical JSON when 0, likewise.
+        sensing: Sensing pipeline for chaos jobs — ``"telemetry"``
+            (counter-driven) or ``"voting"`` (007-style flow voting).
+            Omitted from the canonical JSON at the default, likewise.
     """
 
     kind: str = "simulate"
@@ -154,6 +126,9 @@ class JobSpec:
     lg_coverage: float = 0.0
     topo_kind: str = "clos"
     breakout_fraction: float = 0.0
+    congestion_preset: Optional[str] = None
+    miswire_pairs: int = 0
+    sensing: str = "telemetry"
 
     # ------------------------------------------------------------------ #
     # Validation
@@ -178,9 +153,33 @@ class JobSpec:
                     "chaos jobs use the paper repair model; technician_pool "
                     "and full_repair_cycles are not supported"
                 )
+            if (
+                self.congestion_preset is not None
+                and self.congestion_preset not in KNOWN_CONGESTION_PRESETS
+            ):
+                raise ValueError(
+                    f"unknown congestion preset {self.congestion_preset!r}; "
+                    f"choose from {sorted(KNOWN_CONGESTION_PRESETS)}"
+                )
+            if self.miswire_pairs < 0:
+                raise ValueError("miswire_pairs must be non-negative")
+            if self.sensing not in KNOWN_SENSING:
+                raise ValueError(
+                    f"unknown sensing pipeline {self.sensing!r}; "
+                    f"choose from {sorted(KNOWN_SENSING)}"
+                )
         elif self.chaos_preset is not None:
             raise ValueError(
                 f'chaos_preset requires kind="chaos", not {self.kind!r}'
+            )
+        elif (
+            self.congestion_preset is not None
+            or self.miswire_pairs
+            or self.sensing != "telemetry"
+        ):
+            raise ValueError(
+                "congestion_preset, miswire_pairs and sensing are "
+                f'diagnosis axes of kind="chaos" jobs, not {self.kind!r}'
             )
         if self.profile_shape is None and self.preset not in KNOWN_PRESETS:
             raise ValueError(
@@ -256,6 +255,12 @@ class JobSpec:
             if f.name == "topo_kind" and value == "clos":
                 continue
             if f.name == "breakout_fraction" and value == 0.0:
+                continue
+            if f.name == "congestion_preset" and value is None:
+                continue
+            if f.name == "miswire_pairs" and value == 0:
+                continue
+            if f.name == "sensing" and value == "telemetry":
                 continue
             if isinstance(value, tuple):
                 value = [list(v) if isinstance(v, tuple) else v for v in value]

@@ -323,6 +323,9 @@ def _execute_chaos(
         repair_accuracy=spec.repair_accuracy,
         service_days=spec.service_days,
         seed=spec.seed_used(),
+        congestion_preset=spec.congestion_preset,
+        miswire_pairs=spec.miswire_pairs,
+        sensing=spec.sensing,
         obs=obs,
     )
     result = sim.run()

@@ -1,0 +1,110 @@
+"""One registry for every by-name preset the system accepts.
+
+Strategy, penalty, scenario-preset, chaos-preset, congestion-preset,
+sensing-pipeline, topology-kind and job-kind names were historically
+declared in at least three places each (``cli.py`` argparse choices,
+``parallel/spec.py`` KNOWN_* literals, and the defining modules), kept
+in sync only by convention.  This module is now the single source of
+truth: deliberately import-light (stdlib only) so ``--help`` and spec
+validation never pay for the simulation stack, and pinned against the
+live defining dicts by ``tests/test_registry.py`` so a preset added in
+one place cannot silently go missing from another.
+
+Unknown names are rejected loudly through :func:`require`, which every
+consumer shares so error messages look the same everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+#: Every runnable mitigation strategy (§7.1 lineup + §8 drain + the
+#: LinkGuardian rivals).  Pinned against
+#: ``repro.simulation.strategies.STRATEGY_NAMES``.
+STRATEGIES: Tuple[str, ...] = (
+    "corropt",
+    "fast-checker-only",
+    "switch-local",
+    "none",
+    "drain",
+    "linkguardian",
+    "lg+corropt",
+)
+
+#: Per-strategy tuning knobs accepted by ``build_strategy``.  Pinned
+#: against ``repro.simulation.strategies.STRATEGY_KNOBS``.
+STRATEGY_KNOBS: Dict[str, FrozenSet[str]] = {
+    "corropt": frozenset(),
+    "fast-checker-only": frozenset(),
+    "switch-local": frozenset({"sc"}),
+    "none": frozenset(),
+    "drain": frozenset(),
+    "linkguardian": frozenset({"max_loss_rate"}),
+    "lg+corropt": frozenset({"max_loss_rate"}),
+}
+
+#: Penalty functions ``I(f)`` addressable by name.  Pinned against
+#: ``repro.core.penalty.PENALTY_NAMES``.
+PENALTIES: Tuple[str, ...] = ("linear", "tcp-throughput", "step")
+
+#: Built-in DCN scenario presets (resolved in ``repro.parallel.worker``).
+SCENARIO_PRESETS: Tuple[str, ...] = ("medium", "large")
+
+#: Telemetry-fault presets for chaos runs.  Pinned against
+#: ``repro.simulation.chaos.CHAOS_PRESETS``.
+CHAOS_PRESETS: Tuple[str, ...] = (
+    "none",
+    "mild",
+    "harsh",
+    "reboot-storm",
+    "flaky-collector",
+)
+
+#: Congestion co-model presets (§3: queue-induced loss correlated with
+#: utilization, no FCS signature).  Pinned against
+#: ``repro.congestion.presets.CONGESTION_PRESETS``.
+CONGESTION_PRESETS: Tuple[str, ...] = ("none", "hotspots", "incast")
+
+#: Sensing pipelines a chaos/localization job may run: per-link SNMP
+#: counters (``telemetry``) or the 007-style per-flow voting localizer
+#: (``voting``).
+SENSING_PIPELINES: Tuple[str, ...] = ("telemetry", "voting")
+
+#: Topology families (plane-wired Clos vs k-ary fat-tree).
+TOPO_KINDS: Tuple[str, ...] = ("clos", "fattree")
+
+#: Job kinds the parallel runner executes.
+JOB_KINDS: Tuple[str, ...] = ("simulate", "chaos", "calibrate")
+
+#: Every group addressable by :func:`require`.
+GROUPS: Dict[str, Tuple[str, ...]] = {
+    "strategy": STRATEGIES,
+    "penalty": PENALTIES,
+    "preset": SCENARIO_PRESETS,
+    "chaos_preset": CHAOS_PRESETS,
+    "congestion_preset": CONGESTION_PRESETS,
+    "sensing": SENSING_PIPELINES,
+    "topo_kind": TOPO_KINDS,
+    "kind": JOB_KINDS,
+}
+
+
+def require(group: str, name: str) -> str:
+    """Return ``name`` if registered under ``group``; raise loudly if not.
+
+    The shared rejection path for every by-name lookup, so a typo'd
+    preset fails the same way from the CLI, a grid JSON, or a pickled
+    spec: ``ValueError`` naming the group and the full legal set.
+    """
+    try:
+        known = GROUPS[group]
+    except KeyError:
+        raise ValueError(
+            f"unknown registry group {group!r}; "
+            f"choose from {sorted(GROUPS)}"
+        ) from None
+    if name not in known:
+        raise ValueError(
+            f"unknown {group} {name!r}; choose from {sorted(known)}"
+        )
+    return name

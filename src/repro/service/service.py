@@ -33,10 +33,17 @@ from repro.obs.slo import rules_from_json
 from repro.parallel.aggregate import series_digest
 from repro.service.checkpoint import read_checkpoint
 from repro.service.checkpoint import write_checkpoint as _write_checkpoint
+from repro.congestion.presets import CONGESTION_PRESETS, congestion_model
+from repro.faults.miswiring import MiswiringFault
 from repro.service.ingest import IngestingPoller
 from repro.service.queues import POLICIES, BoundedWorkQueue
 from repro.service.shards import ShardRouter, build_shards
-from repro.simulation.chaos import CHAOS_PRESETS, chaos_preset
+from repro.simulation.chaos import (
+    _CONGESTION_SEED_OFFSET,
+    _MISWIRE_SEED_OFFSET,
+    CHAOS_PRESETS,
+    chaos_preset,
+)
 from repro.simulation.kernel import DAY_S, SimulationKernel, TelemetrySensing
 from repro.simulation.results import RunResult
 from repro.simulation.scenarios import chaos_scenario
@@ -89,6 +96,13 @@ class ServiceConfig:
     #: Named fault preset from :data:`~repro.simulation.chaos.
     #: CHAOS_PRESETS`, or ``None`` for clean monitoring.
     chaos_preset: Optional[str] = None
+    #: Named congestion co-model preset from :data:`~repro.congestion.
+    #: presets.CONGESTION_PRESETS`, or ``None``/``"none"`` for loss that
+    #: is corruption-only.  Activates the diagnosis layer.
+    congestion_preset: Optional[str] = None
+    #: Cable pairs whose inventory map is swapped (A3 miswiring);
+    #: 0 keeps the wiring map correct.
+    miswire_pairs: int = 0
     events_per_10k_links_per_day: float = 400.0
     detection_threshold: float = 1e-7
     packets_per_poll: int = 10_000_000
@@ -128,6 +142,15 @@ class ServiceConfig:
                 f"unknown chaos preset {self.chaos_preset!r} "
                 f"(choose from {sorted(CHAOS_PRESETS)})"
             )
+        if self.congestion_preset is not None and (
+            self.congestion_preset not in CONGESTION_PRESETS
+        ):
+            problems.append(
+                f"unknown congestion preset {self.congestion_preset!r} "
+                f"(choose from {sorted(CONGESTION_PRESETS)})"
+            )
+        if self.miswire_pairs < 0:
+            problems.append("miswire_pairs must be >= 0")
         if self.poll_interval_s <= 0:
             problems.append("poll_interval_s must be > 0")
         if self.queue_capacity < 1:
@@ -198,6 +221,8 @@ class ServiceSensing(TelemetrySensing):
         drain_budget: Optional[int] = None,
         slo_rules=None,
         health_snapshot_every_s: float = 3600.0,
+        congestion_model=None,
+        miswiring=None,
     ):
         super().__init__(
             trace,
@@ -211,6 +236,8 @@ class ServiceSensing(TelemetrySensing):
             audit_maxlen=audit_maxlen,
             slo_rules=slo_rules,
             health_snapshot_every_s=health_snapshot_every_s,
+            congestion_model=congestion_model,
+            miswiring=miswiring,
         )
         self.queue_capacity = queue_capacity
         self.queue_policy = queue_policy
@@ -229,10 +256,21 @@ class ServiceSensing(TelemetrySensing):
         return IngestingPoller(
             topo,
             self.store,
-            packets_fn=self._offered_packets,
+            packets_fn=(
+                self._offered_packets
+                if self._congestion_model is None
+                else self._congestion_packets
+            ),
+            congestion_fn=(
+                None if self._congestion_model is None
+                else self._congestion_loss
+            ),
             interval_s=interval,
             transport=self.transport,
             sanitizer=self.sanitizer,
+            attribution_fn=(
+                None if self._miswiring is None else self._miswiring.physical
+            ),
             obs=obs,
             queue=self.queue,
             batch_size=self.batch_size,
@@ -402,6 +440,24 @@ class ControllerService:
                 config.chaos_preset, seed=config.fault_seed
             )
         self.topo = self.scenario.topo_factory()
+        # Diagnosis scenario layers: seeded with the same offsets the
+        # batch ChaosSimulation uses, so a serve run and a chaos run of
+        # the same (seed, preset, pairs) see the same hot links and the
+        # same swapped cables.
+        cmodel = None
+        if config.congestion_preset is not None:
+            cmodel = congestion_model(
+                config.congestion_preset,
+                self.topo,
+                seed=config.seed + _CONGESTION_SEED_OFFSET,
+            )
+        miswiring = None
+        if config.miswire_pairs:
+            miswiring = MiswiringFault.sample(
+                self.topo,
+                config.miswire_pairs,
+                seed=config.seed + _MISWIRE_SEED_OFFSET,
+            )
         slo_rules = (
             rules_from_json(config.slo_rules_json)
             if config.slo_rules_json is not None
@@ -423,6 +479,8 @@ class ControllerService:
             drain_budget=config.drain_budget,
             slo_rules=slo_rules,
             health_snapshot_every_s=config.health_snapshot_every_s,
+            congestion_model=cmodel,
+            miswiring=miswiring,
         )
         self.kernel = SimulationKernel(
             self.topo,
@@ -587,6 +645,10 @@ class ControllerService:
                 result.health.row() if result.health is not None else None
             ),
         }
+        # Only diagnosis-bearing configs (congestion co-model / miswiring)
+        # carry the block, so plain service reports keep their exact bytes.
+        if getattr(result, "diagnosis", None) is not None:
+            result_row["diagnosis"] = result.diagnosis.row()
         rows = [header, result_row]
         for shard, controller in zip(pipeline.shards, pipeline.controllers):
             rows.append(

@@ -32,11 +32,20 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.congestion.presets import congestion_model
+from repro.faults.miswiring import MiswiringFault
 from repro.faults.telemetry_faults import TelemetryFaultConfig
 from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.registry import require
 from repro.simulation.kernel import DAY_S, SimulationKernel, TelemetrySensing
 from repro.simulation.results import ChaosResult, RunResult
 from repro.simulation.scenarios import Scenario
+from repro.simulation.voting import FlowVotingSensing
+
+#: Deterministic offsets separating the congestion / miswiring RNG
+#: streams from the repair stream derived from the same run seed.
+_CONGESTION_SEED_OFFSET = 7919
+_MISWIRE_SEED_OFFSET = 104729
 
 __all__ = [
     "CHAOS_PRESETS",
@@ -68,6 +77,18 @@ class ChaosSimulation:
         max_decisions: Controller decision ring-buffer bound.
         audit_maxlen: Audit-log ring bound (evictions are counted
             exactly and exported as ``audit_evicted_records``).
+        congestion_preset: Named congestion co-model
+            (:data:`repro.congestion.presets.CONGESTION_PRESETS`);
+            ``None`` / ``"none"`` keeps runs byte-identical to the
+            pre-diagnosis pipeline.  The model is seeded from the run
+            seed plus a fixed offset, so congestion never perturbs the
+            repair RNG stream.
+        miswire_pairs: Disjoint link pairs whose telemetry attribution
+            is swapped (A3-style wrong inventory map); 0 disables the
+            fault and the probe cross-check with it.
+        sensing: ``"telemetry"`` (counter-driven detection) or
+            ``"voting"`` (the 007-style flow-voting localizer,
+            :class:`~repro.simulation.voting.FlowVotingSensing`).
         obs: Observability recorder threaded through the whole closed loop
             (poller, sanitizer, controller, optimizer).  The default
             :data:`~repro.obs.recorder.NULL_RECORDER` preserves the
@@ -88,11 +109,31 @@ class ChaosSimulation:
         max_decisions: int = 4096,
         audit_maxlen: int = 1024,
         slo_rules=None,
+        congestion_preset: Optional[str] = None,
+        miswire_pairs: int = 0,
+        sensing: str = "telemetry",
         obs: Recorder = NULL_RECORDER,
     ):
+        require("sensing", sensing)
         self.scenario = scenario
         self.topo = scenario.topo_factory()
-        self.pipeline = TelemetrySensing(
+        cmodel = None
+        if congestion_preset is not None:
+            cmodel = congestion_model(
+                congestion_preset,
+                self.topo,
+                seed=seed + _CONGESTION_SEED_OFFSET,
+            )
+        miswiring = None
+        if miswire_pairs:
+            miswiring = MiswiringFault.sample(
+                self.topo, miswire_pairs, seed=seed + _MISWIRE_SEED_OFFSET
+            )
+        pipeline_cls = (
+            FlowVotingSensing if sensing == "voting" else TelemetrySensing
+        )
+        extra = {} if sensing == "telemetry" else {"vote_seed": seed}
+        self.pipeline = pipeline_cls(
             scenario.trace,
             scenario.constraint(),
             fault_config=fault_config,
@@ -103,6 +144,9 @@ class ChaosSimulation:
             max_decisions=max_decisions,
             audit_maxlen=audit_maxlen,
             slo_rules=slo_rules,
+            congestion_model=cmodel,
+            miswiring=miswiring,
+            **extra,
         )
         self.kernel = SimulationKernel(
             self.topo,
@@ -147,6 +191,11 @@ class ChaosSimulation:
     @property
     def controller(self):
         return self.pipeline.controller
+
+    @property
+    def diagnosis(self):
+        """The cause-attribution ledger (``None`` on plain runs)."""
+        return self.pipeline.diagnosis
 
     def run(self) -> RunResult:
         """Execute the scenario's full horizon, one poll event at a time."""

@@ -49,6 +49,16 @@ from bisect import bisect_left
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.controller import CorrOptController
+from repro.core.diagnosis import (
+    CAUSE_BOTH,
+    CAUSE_CONGESTION,
+    CAUSE_CORRUPTION,
+    CAUSE_MISWIRED,
+    CAUSE_UNKNOWN,
+    CauseClassifier,
+    DiagnosisStats,
+    LinkDiagnosis,
+)
 from repro.core.path_counting import PathCounter
 from repro.core.penalty import PenaltyFn, linear_penalty
 from repro.core.resilience import (
@@ -610,6 +620,11 @@ class TelemetrySensing(SensingPipeline):
         audit_maxlen: int = 1024,
         slo_rules=None,
         health_snapshot_every_s: float = 3600.0,
+        congestion_model=None,
+        miswiring=None,
+        probe_links_per_poll: int = 8,
+        miswire_confirm: int = 2,
+        classifier: Optional[CauseClassifier] = None,
     ):
         self.trace = trace
         self.constraint = constraint
@@ -622,12 +637,53 @@ class TelemetrySensing(SensingPipeline):
         self.audit_maxlen = audit_maxlen
         self.slo_rules = slo_rules
         self.health_snapshot_every_s = health_snapshot_every_s
+        #: Optional congestion co-model: feeds diurnal utilization through
+        #: the poller's traffic callable and queue losses through the
+        #: drops channel only (no FCS signature, §3).
+        self._congestion_model = congestion_model
+        #: Optional A3-style miswiring fault: swaps the poller's FCS
+        #: attribution and activates the rotating probe cross-check.
+        self._miswiring = miswiring
+        self.probe_links_per_poll = probe_links_per_poll
+        self.miswire_confirm = miswire_confirm
+        self.classifier = classifier or CauseClassifier(
+            corruption_threshold=detection_threshold,
+            congestion_threshold=detection_threshold,
+        )
 
     def _offered_packets(self, _did, _t) -> int:
         """Offered packets per direction per poll (a bound method rather
         than a lambda so the whole pipeline stays picklable for
         checkpoint/restore)."""
         return self.packets_per_poll
+
+    # -- congestion co-model adapters ----------------------------------- #
+    #
+    # Bound methods (not the model's closure factories) so the pipeline
+    # stays picklable, with a one-slot memo so the packets and loss
+    # callables of one (direction, tick) see the *same* utilization draw
+    # (TrafficProfile.utilization advances AR(1) state per call).
+
+    def _congestion_utilization(self, did, now) -> float:
+        memo = self._util_memo
+        if memo is not None and memo[0] == did and memo[1] == now:
+            return memo[2]
+        util = self._congestion_model.utilization(did, now)
+        self._util_memo = (did, now, util)
+        return util
+
+    def _congestion_packets(self, did, now) -> int:
+        util = self._congestion_utilization(did, now)
+        link = self.kernel.topo.find_link(*did)
+        line_pkts = (
+            link.capacity_gbps * 1e9 / 8.0 / 1000.0 * self.poll_interval_s
+        )
+        return int(line_pkts * util)
+
+    def _congestion_loss(self, did, now) -> float:
+        return self._congestion_model.loss_rate(
+            did, self._congestion_utilization(did, now)
+        )
 
     def attach(self, kernel: SimulationKernel) -> None:
         super().attach(kernel)
@@ -659,6 +715,25 @@ class TelemetrySensing(SensingPipeline):
         # which of them the telemetry pipeline has noticed.
         self._onset_time: Dict[LinkId, float] = {}
         self._detected: Set[LinkId] = set()
+        # Diagnosis layer state.  The accuracy ledger only exists when a
+        # diagnosis-bearing scenario family (congestion co-model,
+        # miswiring, flow voting) is active, so plain telemetry runs keep
+        # their exact result surface.
+        self._util_memo = None
+        self.diagnosis: Optional[DiagnosisStats] = (
+            DiagnosisStats() if self._diagnosis_active() else None
+        )
+        self._diagnosis_noted: Set[Tuple[str, object]] = set()
+        # Rotating active-probe cross-check (A3): only runs when a
+        # miswiring fault is installed.
+        self._probe_ring: List[LinkId] = (
+            sorted(link.link_id for link in topo.links())
+            if self._miswiring is not None
+            else []
+        )
+        self._probe_cursor = 0
+        self._probe_mismatch: Dict[LinkId, int] = {}
+        self._miswire_flagged: Set[LinkId] = set()
         self._min_threshold = min(
             [self.constraint.default] + list(self.constraint.per_tor.values())
         )
@@ -674,7 +749,15 @@ class TelemetrySensing(SensingPipeline):
             rules=self.slo_rules,
         )
         self.health.router = self._health_router()
+        if self.diagnosis is not None:
+            self.health.attach_diagnosis(self.diagnosis)
         self._next_health_pub_s = self.health_snapshot_every_s
+
+    def _diagnosis_active(self) -> bool:
+        """Whether this run carries a diagnosis accuracy ledger."""
+        return (
+            self._congestion_model is not None or self._miswiring is not None
+        )
 
     # -- health wiring (overridden by the service pipeline) ------------- #
 
@@ -700,10 +783,21 @@ class TelemetrySensing(SensingPipeline):
         return SnmpPoller(
             topo,
             self.store,
-            packets_fn=self._offered_packets,
+            packets_fn=(
+                self._offered_packets
+                if self._congestion_model is None
+                else self._congestion_packets
+            ),
+            congestion_fn=(
+                None if self._congestion_model is None
+                else self._congestion_loss
+            ),
             interval_s=interval,
             transport=self.transport,
             sanitizer=self.sanitizer,
+            attribution_fn=(
+                None if self._miswiring is None else self._miswiring.physical
+            ),
             obs=obs,
         )
 
@@ -762,6 +856,15 @@ class TelemetrySensing(SensingPipeline):
         kernel = self.kernel
         self._onset_time.pop(link_id, None)
         self._detected.discard(link_id)
+        if self.diagnosis is not None:
+            # A repaired link starts a fresh diagnosis episode.
+            link = kernel.topo.link(link_id)
+            for direction in (Direction.UP, Direction.DOWN):
+                self._diagnosis_noted.discard(
+                    ("ctr", link.direction_id(direction))
+                )
+            self._diagnosis_noted.discard(("probe", link_id))
+            self._diagnosis_noted.discard(("vote", link_id))
         self.health.note_repair(time_s, link_id)
         kernel.metrics.repairs_completed += 1
         controller = self._controller_for(link_id)
@@ -785,11 +888,24 @@ class TelemetrySensing(SensingPipeline):
         polled = self.poller.poll_once()
         assert polled == time_s
         self.chaos.polls += 1
+        if self._miswiring is not None:
+            self._run_probes(time_s)
         with self.kernel.obs.span("chaos.detect", cat="chaos"):
             self._detect_and_report(time_s)
 
     def _detect_and_report(self, now: float) -> None:
-        """Raise controller reports from fresh telemetry samples."""
+        """Diagnose fresh telemetry samples; mitigate actionable causes.
+
+        The sensing → controller boundary: every fresh sample with a loss
+        signature becomes a :class:`~repro.core.diagnosis.LinkDiagnosis`,
+        and only actionable causes (corruption / both / unknown) are
+        reported to the controller.  Congestion-only verdicts are logged
+        in the accuracy ledger but never disabled or ticketed; miswired
+        verdicts defer to the probe cross-check
+        (:meth:`_run_probes`), which mitigates the *physical* culprit.
+        With no congestion co-model and no miswiring this reduces exactly
+        to the historical bare-loss-rate path, byte for byte.
+        """
         kernel = self.kernel
         topo = kernel.topo
         for link in list(topo.links()):
@@ -801,43 +917,204 @@ class TelemetrySensing(SensingPipeline):
                 sample = self.store.last_sample(did)
                 if sample is None:
                     continue
-                time_s, corruption, _cong, _util, _quality = sample
+                time_s, corruption, congestion, _util, _quality = sample
                 if time_s != now:
                     continue  # no fresh sample this tick
                 if corruption < self.detection_threshold:
+                    # Drops-only signature: diagnose (cause=congestion)
+                    # for the accuracy ledger, but never raise a report —
+                    # disabling a congested link only shifts its load.
+                    if (
+                        self.diagnosis is not None
+                        and congestion >= self.classifier.congestion_threshold
+                    ):
+                        diagnosis = self._diagnose(
+                            link, direction, did, sample, now
+                        )
+                        self._note_diagnosis(link_id, did, diagnosis)
                     continue
-                was_quarantined = self.sanitizer.link_quarantined(link_id)
-                truly_corrupting = (
-                    topo.link(link_id).max_corruption_rate() > 0
-                )
-                decision = self._controller_for(link_id).report_corruption(
-                    link_id, corruption, direction, time_s=now
-                )
-                if truly_corrupting and link_id not in self._detected:
-                    self._detected.add(link_id)
-                    self.chaos.detections += 1
-                    onset = self._onset_time.get(link_id, now)
-                    self.chaos.detection_delay_polls += max(
-                        0.0, (now - onset) / self.poll_interval_s
-                    )
-                    self.health.note_detection(now, link_id)
-                if decision.disabled:
-                    kernel.metrics.disabled_on_onset += 1
-                    if was_quarantined:
-                        self.chaos.quarantine_violations += 1
-                    if not truly_corrupting:
-                        self.chaos.false_disables += 1
-                    self.health.note_mitigation(
-                        now,
-                        link_id,
-                        truly_corrupting,
-                        topo.link(link_id).max_corruption_rate(),
-                    )
-                    kernel.schedule_repair(now, link_id)
+                diagnosis = self._diagnose(link, direction, did, sample, now)
+                if self.diagnosis is not None:
+                    self._note_diagnosis(link_id, did, diagnosis)
+                if not diagnosis.actionable():
+                    continue
+                if self._report_and_account(
+                    now, link_id, direction, corruption
+                ):
                     break  # link is down; no point checking the other side
-                elif decision.fast_check is not None:
-                    kernel.metrics.kept_active_on_onset += 1
-                    self.health.note_kept(now, link_id)
+
+    def _diagnose(
+        self, link, direction: Direction, did, sample, now: float
+    ) -> LinkDiagnosis:
+        """Classify one fresh sample into a structured diagnosis."""
+        _time_s, corruption, congestion, util, _quality = sample
+        util_history = cong_history = None
+        if (
+            self._congestion_model is not None
+            and congestion >= self.classifier.congestion_threshold
+        ):
+            window = self.classifier.correlation_window
+            util_history = (
+                self.store.utilization_series(did).values[-window:].tolist()
+            )
+            cong_history = (
+                self.store.congestion_series(did).values[-window:].tolist()
+            )
+        return self.classifier.classify(
+            link.link_id,
+            direction,
+            corruption,
+            congestion_rate=congestion,
+            utilization=util,
+            time_s=now,
+            utilization_history=util_history,
+            congestion_history=cong_history,
+            miswire_suspected=link.link_id in self._miswire_flagged,
+        )
+
+    def _true_cause(self, link_id: LinkId, did=None) -> str:
+        """Ground-truth cause label for the accuracy ledger."""
+        if self._miswiring is not None and self._miswiring.affects(link_id):
+            return CAUSE_MISWIRED
+        link = self.kernel.topo.link(link_id)
+        corrupting = link.max_corruption_rate() > 0
+        congested = self._truly_congested(link_id, did)
+        if corrupting and congested:
+            return CAUSE_BOTH
+        if corrupting:
+            return CAUSE_CORRUPTION
+        if congested:
+            return CAUSE_CONGESTION
+        return CAUSE_UNKNOWN
+
+    def _truly_congested(self, link_id: LinkId, did=None) -> bool:
+        if self._congestion_model is None:
+            return False
+        if did is not None:
+            return self._congestion_model.is_hot(did)
+        link = self.kernel.topo.link(link_id)
+        return any(
+            self._congestion_model.is_hot(link.direction_id(d))
+            for d in (Direction.UP, Direction.DOWN)
+        )
+
+    def _note_diagnosis(
+        self, link_id: LinkId, did, diagnosis: LinkDiagnosis
+    ) -> None:
+        """Ledger one verdict per (direction, episode); episodes reset on
+        repair so re-onsets are scored again."""
+        key = ("ctr", did)
+        if key in self._diagnosis_noted:
+            return
+        self._diagnosis_noted.add(key)
+        self.diagnosis.note(self._true_cause(link_id, did), diagnosis.cause)
+
+    def _report_and_account(
+        self, now: float, link_id: LinkId, direction: Direction, rate: float
+    ) -> bool:
+        """Report an actionable diagnosis to the owning controller and do
+        the detection/mitigation accounting.  Returns True when the link
+        was disabled (callers stop scanning its other direction)."""
+        kernel = self.kernel
+        topo = kernel.topo
+        was_quarantined = self.sanitizer.link_quarantined(link_id)
+        truly_corrupting = topo.link(link_id).max_corruption_rate() > 0
+        decision = self._controller_for(link_id).report_corruption(
+            link_id, rate, direction, time_s=now
+        )
+        if truly_corrupting and link_id not in self._detected:
+            self._detected.add(link_id)
+            self.chaos.detections += 1
+            onset = self._onset_time.get(link_id, now)
+            self.chaos.detection_delay_polls += max(
+                0.0, (now - onset) / self.poll_interval_s
+            )
+            self.health.note_detection(now, link_id)
+        if decision.disabled:
+            kernel.metrics.disabled_on_onset += 1
+            if was_quarantined:
+                self.chaos.quarantine_violations += 1
+            if not truly_corrupting:
+                self.chaos.false_disables += 1
+                if self.diagnosis is not None and self._truly_congested(
+                    link_id
+                ):
+                    self.diagnosis.congestion_mitigations += 1
+            self.health.note_mitigation(
+                now,
+                link_id,
+                truly_corrupting,
+                topo.link(link_id).max_corruption_rate(),
+            )
+            kernel.schedule_repair(now, link_id)
+            return True
+        elif decision.fast_check is not None:
+            kernel.metrics.kept_active_on_onset += 1
+            self.health.note_kept(now, link_id)
+        return False
+
+    def _run_probes(self, now: float) -> None:
+        """A3 cross-check: probe a rotating window of links each poll.
+
+        An active probe traverses the *actual* cable (the data plane does
+        not consult the inventory), so probe loss describes the link the
+        operator asked about while its counters may describe another.  A
+        link whose probe verdict and counter verdict disagree for
+        ``miswire_confirm`` consecutive probes is flagged miswired:
+        counter-driven mitigation is refused for it (the counters are
+        someone else's), and probe-sourced reports carry the corruption
+        the counters deny, so the physical culprit is still mitigated.
+        """
+        topo = self.kernel.topo
+        ring = self._probe_ring
+        if not ring:
+            return
+        window = min(self.probe_links_per_poll, len(ring))
+        start = self._probe_cursor
+        self._probe_cursor = (start + window) % len(ring)
+        for i in range(window):
+            link_id = ring[(start + i) % len(ring)]
+            link = topo.link(link_id)
+            if not link.enabled:
+                continue
+            probe_rate = link.max_corruption_rate()
+            probe_detect = probe_rate >= self.detection_threshold
+            counter_rate = 0.0
+            fresh = False
+            for direction in (Direction.UP, Direction.DOWN):
+                sample = self.store.last_sample(link.direction_id(direction))
+                if sample is not None and sample[0] == now:
+                    fresh = True
+                    counter_rate = max(counter_rate, sample[1])
+            flagged = link_id in self._miswire_flagged
+            if fresh:
+                counter_detect = counter_rate >= self.detection_threshold
+                if counter_detect != probe_detect:
+                    count = self._probe_mismatch.get(link_id, 0) + 1
+                    self._probe_mismatch[link_id] = count
+                    if count >= self.miswire_confirm and not flagged:
+                        self._miswire_flagged.add(link_id)
+                        flagged = True
+                        self.chaos.miswires_flagged += 1
+                        if self.diagnosis is not None:
+                            key = ("probe", link_id)
+                            if key not in self._diagnosis_noted:
+                                self._diagnosis_noted.add(key)
+                                self.diagnosis.note(
+                                    self._true_cause(link_id), CAUSE_MISWIRED
+                                )
+                else:
+                    self._probe_mismatch.pop(link_id, None)
+            # Probe-sourced mitigation: the probe sees corruption the
+            # counters deny (its FCS signature was swapped away), so the
+            # report carries the probe-measured rate.
+            if flagged and probe_detect and link_id not in self._detected:
+                up_rate = link.corruption_rate[Direction.UP]
+                down_rate = link.corruption_rate[Direction.DOWN]
+                direction = (
+                    Direction.UP if up_rate >= down_rate else Direction.DOWN
+                )
+                self._report_and_account(now, link_id, direction, probe_rate)
 
     # -- snapshots ------------------------------------------------------ #
 
@@ -895,6 +1172,8 @@ class TelemetrySensing(SensingPipeline):
         self.chaos.missed_mitigations = sum(
             1 for lid in self._onset_time if lid not in self._detected
         )
+        if self.diagnosis is not None:
+            self.diagnosis.missed_corrupting = self.chaos.missed_mitigations
         self.chaos.missed_polls = self.poller.missed_polls
         self.chaos.degraded_samples = (
             self.sanitizer.stats.missing
@@ -929,10 +1208,13 @@ class TelemetrySensing(SensingPipeline):
         self._publish_health(self.kernel.duration_s)
 
     def result_sections(self) -> Dict[str, object]:
-        return {
+        sections: Dict[str, object] = {
             "chaos": self.chaos,
             "audit": self.audit,
             "sanitizer_stats": self.sanitizer.stats,
             "controller_log": self.controller.log,
             "health": self.health.report(),
         }
+        if self.diagnosis is not None:
+            sections["diagnosis"] = self.diagnosis
+        return sections

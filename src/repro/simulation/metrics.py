@@ -167,6 +167,8 @@ class ChaosMetrics:
             invariant requires this to stay 0).
         capacity_violations: Ticks on which the worst ToR fraction fell
             below its constraint (must stay 0).
+        miswires_flagged: Links flagged miswired by the active-probe
+            cross-check (0 unless a miswiring fault is installed).
     """
 
     polls: int = 0
@@ -180,6 +182,7 @@ class ChaosMetrics:
     quarantined_peak: int = 0
     quarantine_violations: int = 0
     capacity_violations: int = 0
+    miswires_flagged: int = 0
 
     def mean_detection_delay_polls(self) -> float:
         """Average onset→detection delay, in polls."""

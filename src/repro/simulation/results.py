@@ -43,6 +43,11 @@ class RunResult:
     #: Event-time health report (:class:`repro.obs.health.HealthReport`);
     #: ``None`` for oracle-sensing runs.
     health: object = None
+    #: Cause-attribution ledger (:class:`repro.core.diagnosis.
+    #: DiagnosisStats`); ``None`` unless the run had a congestion
+    #: co-model, a miswiring fault, or a voting localizer — absent on
+    #: every historical configuration so legacy artifacts are unchanged.
+    diagnosis: object = None
 
     @property
     def penalty_integral(self) -> float:

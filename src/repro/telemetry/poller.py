@@ -65,6 +65,13 @@ class SnmpPoller:
             diffed, wrap/reset-corrected, and quality-flagged by the
             sanitizer instead of the poller's raw differencing, and every
             store append carries the sample's quality flag.
+        attribution_fn: Optional ``link_id -> link_id`` map modelling a
+            wrong inventory database (A3-style miswiring): the FCS
+            signature recorded for a link is read from the *physical*
+            link its monitored port is actually cabled to.  Traffic and
+            drop counters stay with the monitored port (they are
+            measured at the switch, not on the cable).  ``None`` (the
+            default) keeps the happy path untouched.
         obs: Observability recorder; each poll emits a ``poll`` span with
             ``poll.collect`` / ``poll.sanitize`` / ``poll.store`` children
             plus missed-poll counters (no-op by default).
@@ -79,12 +86,14 @@ class SnmpPoller:
         interval_s: float = POLL_INTERVAL_S,
         transport=None,
         sanitizer: Optional[TelemetrySanitizer] = None,
+        attribution_fn: Optional[Callable[[LinkId], LinkId]] = None,
         obs: Recorder = NULL_RECORDER,
     ):
         self._topo = topo
         self._store = store
         self._packets_fn = packets_fn
         self._congestion_fn = congestion_fn or _zero_congestion
+        self._attribution_fn = attribution_fn
         self.interval_s = interval_s
         self.transport = transport
         self.sanitizer = sanitizer
@@ -146,10 +155,21 @@ class SnmpPoller:
                 for direction in (Direction.UP, Direction.DOWN):
                     self._previous.pop(link.direction_id(direction), None)
                 continue
+            source = link
+            if self._attribution_fn is not None:
+                physical = self._attribution_fn(link.link_id)
+                if physical != link.link_id:
+                    source = self._topo.link(physical)
             for direction in (Direction.UP, Direction.DOWN):
                 did = link.direction_id(direction)
                 packets = self._packets_fn(did, now)
-                corruption = link.corruption_rate[direction]
+                # FCS errors follow the physical cable (identity unless a
+                # miswiring attribution map is installed); a disabled
+                # physical link carries no traffic, hence no errors.
+                corruption = (
+                    source.corruption_rate[direction] if source.enabled
+                    else 0.0
+                )
                 congestion = self._congestion_fn(did, now)
                 counters = self._counters_for(did)
                 counters.record_interval(packets, corruption, congestion)

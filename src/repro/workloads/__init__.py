@@ -12,6 +12,7 @@ from repro.workloads.dcn_profiles import (
     MEDIUM_DCN,
     study_profiles,
 )
+from repro.workloads.flows import sample_flow_population
 from repro.workloads.generator import (
     DEFAULT_EVENTS_PER_10K_LINKS_PER_DAY,
     burst_trace,
@@ -58,6 +59,7 @@ __all__ = [
     "generate_trace",
     "sample_congestion_rate",
     "sample_corruption_rate",
+    "sample_flow_population",
     "sample_from_buckets",
     "study_profiles",
 ]

@@ -1,0 +1,53 @@
+"""Seeded flow populations for path-level sensing (the 007 angle).
+
+007 ("007: Democratically Finding the Cause of Packet Drops", NSDI'18;
+see PAPERS.md) localizes lossy links without per-link counters: every
+TCP flow that suffers a retransmission votes for the links on its path,
+and the tally concentrates on the culprit because good links appear on
+failed and healthy paths alike.  The voting sensing pipeline
+(:mod:`repro.simulation.voting`) needs a deterministic flow population
+to route; this module provides it.
+
+The population is a pure function of (topology ToR list, flows_per_tor,
+seed): destination choices come from a dedicated ``random.Random`` so
+the same scenario yields the same flows on every worker.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.routing.ecmp import Flow
+from repro.topology.graph import Topology
+
+__all__ = ["sample_flow_population"]
+
+
+def sample_flow_population(
+    topo: Topology, flows_per_tor: int = 2, seed: int = 0
+) -> List[Flow]:
+    """Draw ``flows_per_tor`` flows from every ToR to a random other ToR.
+
+    Each flow's destination is a uniformly random *different* ToR, chosen
+    by index offset so the draw count per ToR is fixed (byte-identical
+    populations regardless of iteration context).
+
+    Args:
+        topo: The topology whose ToRs anchor the flows.
+        flows_per_tor: Flows sourced at each ToR (distinct flow labels).
+        seed: Seed for the destination draws.
+    """
+    tors = topo.tors()
+    if flows_per_tor < 0:
+        raise ValueError("flows_per_tor must be non-negative")
+    if len(tors) < 2:
+        return []
+    rng = random.Random(seed)
+    flows: List[Flow] = []
+    for i, src in enumerate(tors):
+        for label in range(flows_per_tor):
+            offset = 1 + rng.randrange(len(tors) - 1)
+            dst = tors[(i + offset) % len(tors)]
+            flows.append(Flow(src_tor=src, dst_tor=dst, flow_label=label))
+    return flows

@@ -1,0 +1,153 @@
+"""Property-based tests for ECMP routing under arbitrary disabled sets.
+
+Hypothesis drives :mod:`repro.routing.ecmp` and
+:mod:`repro.routing.rerouting` with arbitrary subsets of disabled links
+and arbitrary flow populations, checking the invariants the simulation
+leans on:
+
+- a selected up-path never traverses a disabled link;
+- ECMP is a *partition*: at every hop each flow hashes to exactly one
+  enabled group member, so flow weight is conserved across the group
+  (no flow double-counted, none silently dropped while a member is up);
+- a reroute plan accounts for every input flow exactly once and leaves
+  the topology in its original state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import (
+    EcmpRouter,
+    Flow,
+    enumerate_up_paths,
+    generate_tor_flows,
+    plan_reroute,
+)
+from repro.topology import build_clos
+
+
+def make_topo():
+    # Small enough for exhaustive checks, big enough for 2-tier ECMP
+    # fan-out (2 pods x 3 ToRs, 3 aggs/pod, 9 spines = 36 links).
+    return build_clos(2, 3, 3, 9)
+
+
+_ALL_LINKS = sorted(link.link_id for link in make_topo().links())
+
+#: Arbitrary subsets of links to disable.  Capped below the full set so
+#: at least some topology remains (the all-disabled case is degenerate
+#: but still covered by the never-route-disabled property).
+disabled_sets = st.sets(st.sampled_from(_ALL_LINKS), max_size=12)
+
+flows = st.builds(
+    Flow,
+    src_tor=st.sampled_from(
+        [f"pod{p}/tor{t}" for p in range(2) for t in range(3)]
+    ),
+    dst_tor=st.sampled_from(
+        [f"pod{p}/tor{t}" for p in range(2) for t in range(3)]
+    ),
+    flow_label=st.integers(min_value=0, max_value=2**16),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(disabled=disabled_sets, flow=flows, salt=st.integers(0, 7))
+def test_up_path_never_uses_disabled_links(disabled, flow, salt):
+    topo = make_topo()
+    for link_id in disabled:
+        topo.disable_link(link_id)
+    path = EcmpRouter(topo, salt=salt).up_path(flow)
+    if path is None:
+        return  # stranded is legal under arbitrary disables
+    for link_id in path:
+        assert topo.link(link_id).enabled
+        assert link_id not in disabled
+    # And the path is a valley-free chain ending at the spine.
+    for earlier, later in zip(path, path[1:]):
+        assert topo.link(earlier).upper == topo.link(later).lower
+    assert topo.link(path[-1]).upper in topo.spines()
+
+
+@settings(max_examples=60, deadline=None)
+@given(disabled=disabled_sets, salt=st.integers(0, 7))
+def test_ecmp_partitions_flows_across_enabled_group(disabled, salt):
+    """Weight conservation: every flow routed at a hop lands on exactly
+    one enabled group member, so per-member counts sum to the total."""
+    topo = make_topo()
+    for link_id in disabled:
+        topo.disable_link(link_id)
+    router = EcmpRouter(topo, salt=salt)
+    population = generate_tor_flows(topo, flows_per_tor=6)
+    for switch in topo.tors():
+        group = router.next_hop_links(switch)
+        local = [f for f in population if f.src_tor == switch]
+        choices = [router.select_uplink(switch, f) for f in local]
+        if not group:
+            assert all(choice is None for choice in choices)
+            continue
+        assert all(choice in group for choice in choices)
+        per_member = {m: sum(1 for c in choices if c == m) for m in group}
+        assert sum(per_member.values()) == len(local)
+
+
+@settings(max_examples=40, deadline=None)
+@given(disabled=disabled_sets, salt=st.integers(0, 7))
+def test_enumerated_paths_avoid_disabled_and_cover_selection(disabled, salt):
+    topo = make_topo()
+    for link_id in disabled:
+        topo.disable_link(link_id)
+    router = EcmpRouter(topo, salt=salt)
+    for tor in topo.tors():
+        enumerated = enumerate_up_paths(topo, tor)
+        for path in enumerated:
+            assert all(topo.link(l).enabled for l in path)
+        # Hop-by-hop ECMP may dead-end at a switch whose uplinks are all
+        # disabled even though other valley-free paths survive, so a
+        # stranded selection does not imply an empty enumeration — but a
+        # successful selection must be one of the enumerated paths, and
+        # with no surviving path selection must strand.
+        chosen = router.up_path(Flow(tor, tor, 1))
+        if chosen is not None:
+            assert tuple(chosen) in set(enumerated)
+        if not enumerated:
+            assert chosen is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    disabled=disabled_sets,
+    target_index=st.integers(0, len(_ALL_LINKS) - 1),
+    flowlet=st.booleans(),
+)
+def test_reroute_plan_accounts_every_flow_and_restores_state(
+    disabled, target_index, flowlet
+):
+    topo = make_topo()
+    for link_id in disabled:
+        topo.disable_link(link_id)
+    target = _ALL_LINKS[target_index]
+    population = generate_tor_flows(topo, flows_per_tor=4)
+    before = {link.link_id: link.enabled for link in topo.links()}
+
+    plan = plan_reroute(
+        topo, target, population, flowlet_switching=flowlet
+    )
+
+    # Exactly-once accounting: moved + stranded + unaffected = examined.
+    assert (
+        plan.flows_moved + len(plan.stranded) + plan.unaffected
+        == len(population)
+    )
+    # Flowlet switching never risks reordering; immediate switching
+    # flags every move.
+    expected = 0 if flowlet else plan.flows_moved
+    assert plan.reordering_count() == expected
+    # New paths avoid both the hypothetically-disabled target and every
+    # already-disabled link.
+    for move in plan.moves:
+        assert move.new_path is not None
+        assert target not in move.new_path
+        assert all(l not in disabled for l in move.new_path)
+    # The hypothetical disable is rolled back exactly.
+    after = {link.link_id: link.enabled for link in topo.links()}
+    assert after == before
